@@ -1,0 +1,300 @@
+package scorpion
+
+// Benchmark harness: one testing.B per table/figure of the paper's
+// evaluation (§8), plus ablation benches for the design choices DESIGN.md
+// calls out (incremental scoring, DT sampling, merger approximation).
+//
+// These run the same experiment code as cmd/scorpion-bench at a reduced
+// scale so `go test -bench=. -benchmem` completes on a laptop; run
+// `scorpion-bench -full` for paper-scale parameters. Quality metrics (F1)
+// are attached with b.ReportMetric so shape comparisons appear alongside
+// timings.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/eval"
+	"github.com/scorpiondb/scorpion/internal/experiments"
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/merge"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	"github.com/scorpiondb/scorpion/internal/partition/dt"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/synth"
+)
+
+// benchScale is the reduced experiment scale used by every figure bench.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		TuplesPerGroup: 150,
+		Groups:         6,
+		OutlierGroups:  3,
+		Bins:           8,
+		NaiveDeadline:  3 * time.Second,
+		Seed:           1,
+	}
+}
+
+// BenchmarkTable1RunningExample regenerates Tables 1 and 2 and the
+// explanation of the running example.
+func BenchmarkTable1RunningExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunningExample(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9NaivePredicates regenerates Figure 9 (NAIVE optimal
+// predicates on SYNTH-2D-Hard across c).
+func BenchmarkFigure9NaivePredicates(b *testing.B) {
+	s := benchScale()
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure9(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = rows[len(rows)-1].OuterAcc.F1
+	}
+	b.ReportMetric(f1, "F1@c=0.5")
+}
+
+// BenchmarkFigure10NaiveAccuracy regenerates Figure 10 (NAIVE accuracy
+// curves, Easy and Hard).
+func BenchmarkFigure10NaiveAccuracy(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11NaiveConvergence regenerates Figure 11 (best-so-far
+// accuracy over time).
+func BenchmarkFigure11NaiveConvergence(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure11(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure12AccuracyByAlgorithm regenerates Figure 12 (DT vs MC vs
+// NAIVE accuracy, 2D).
+func BenchmarkFigure12AccuracyByAlgorithm(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure12(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure13FScoreByDimension regenerates Figure 13 (F-score, 2-4D).
+// NAIVE is restricted to keep the 4D grid tractable per iteration; the DT
+// and MC curves are the figure's point.
+func BenchmarkFigure13FScoreByDimension(b *testing.B) {
+	s := benchScale()
+	s.Algorithms = []string{"dt", "mc"}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure13(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure14CostByDimension regenerates Figure 14 (cost vs c, 2-4D).
+func BenchmarkFigure14CostByDimension(b *testing.B) {
+	s := benchScale()
+	s.Algorithms = []string{"dt", "mc"}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure14(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure15CostByScale regenerates Figure 15 (cost vs dataset
+// size).
+func BenchmarkFigure15CostByScale(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure15(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure16Caching regenerates Figure 16 (cached vs fresh c sweep)
+// and reports the aggregate speedup.
+func BenchmarkFigure16Caching(b *testing.B) {
+	s := benchScale()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure16(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cached, fresh time.Duration
+		for _, r := range rows {
+			cached += r.Cached
+			fresh += r.NoCache
+		}
+		if cached > 0 {
+			speedup = float64(fresh) / float64(cached)
+		}
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// BenchmarkIntelWorkload1 regenerates §8.4 INTEL workload 1 (dying sensor).
+func BenchmarkIntelWorkload1(b *testing.B) {
+	benchIntel(b, 1)
+}
+
+// BenchmarkIntelWorkload2 regenerates §8.4 INTEL workload 2 (battery
+// decay).
+func BenchmarkIntelWorkload2(b *testing.B) {
+	benchIntel(b, 2)
+}
+
+func benchIntel(b *testing.B, workload int) {
+	scale := experiments.IntelScale{Hours: 30, Sensors: 30, EpochsPerHour: 2, Seed: 7}
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.IntelWorkload(workload, scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Acc.F1 > f1 {
+				f1 = r.Acc.F1
+			}
+		}
+	}
+	b.ReportMetric(f1, "bestF1")
+}
+
+// BenchmarkExpenseWorkload regenerates §8.4's EXPENSE workload.
+func BenchmarkExpenseWorkload(b *testing.B) {
+	scale := experiments.ExpenseScale{Days: 30, RowsPerDay: 60, Recipients: 120, Seed: 5}
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExpenseWorkload(scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Acc.F1 > f1 {
+				f1 = r.Acc.F1
+			}
+		}
+	}
+	b.ReportMetric(f1, "bestF1")
+}
+
+// --- Ablation benches -------------------------------------------------
+
+// benchSetup prepares a scorer + space over a standard 2D workload.
+func benchSetup(b *testing.B, aggName string, c float64) (*influence.Scorer, *predicate.Space, *synth.Dataset) {
+	b.Helper()
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 500, Groups: 6, OutlierGroups: 3, Mu: 80, Seed: 3,
+	})
+	task, space, err := eval.SynthTask(ds, aggName, 0.5, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scorer, err := influence.NewScorer(task)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scorer, space, ds
+}
+
+// BenchmarkScorerIncremental measures the §5.1 incremental scoring path.
+func BenchmarkScorerIncremental(b *testing.B) {
+	scorer, _, ds := benchSetup(b, "avg", 0.2)
+	col := ds.Table.Schema().MustIndex("a1")
+	p := predicate.MustNew(predicate.NewRangeClause(col, "a1", 20, 60, false))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scorer.ResetCache()
+		_ = scorer.Influence(p)
+	}
+}
+
+// BenchmarkScorerBlackBox measures the same predicate scored through the
+// black-box recomputation path (the ablation of §5.1).
+func BenchmarkScorerBlackBox(b *testing.B) {
+	scorer, _, ds := benchSetup(b, "median", 0.2)
+	col := ds.Table.Schema().MustIndex("a1")
+	p := predicate.MustNew(predicate.NewRangeClause(col, "a1", 20, 60, false))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scorer.ResetCache()
+		_ = scorer.Influence(p)
+	}
+}
+
+// BenchmarkDTWithSampling measures DT with §6.1.2 sampling enabled.
+func BenchmarkDTWithSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scorer, space, _ := benchSetup(b, "avg", 0.2)
+		if _, err := dt.Run(scorer, space, dt.Params{SampleSeed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDTNoSampling is the sampling ablation: every tuple's influence
+// is computed.
+func BenchmarkDTNoSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scorer, space, _ := benchSetup(b, "avg", 0.2)
+		if _, err := dt.Run(scorer, space, dt.Params{DisableSampling: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergerExact measures merging DT candidates with exact Scorer
+// calls.
+func BenchmarkMergerExact(b *testing.B) {
+	benchMerger(b, false)
+}
+
+// BenchmarkMergerApproximation measures the §6.3 cached-tuple
+// approximation.
+func BenchmarkMergerApproximation(b *testing.B) {
+	benchMerger(b, true)
+}
+
+func benchMerger(b *testing.B, approx bool) {
+	scorer, space, _ := benchSetup(b, "avg", 0.2)
+	res, err := dt.Run(scorer, space, dt.Params{DisableSampling: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var calls int64
+	for i := 0; i < b.N; i++ {
+		before := scorer.Calls()
+		m := merge.New(scorer, space, merge.Params{
+			TopQuartileOnly:  true,
+			UseApproximation: approx,
+		})
+		out := m.Merge(res.Candidates)
+		if _, ok := partition.Top(out); !ok {
+			b.Fatal("no merged candidates")
+		}
+		calls = scorer.Calls() - before
+		scorer.ResetCache()
+	}
+	b.ReportMetric(float64(calls), "scorer-calls/op")
+}

@@ -1,0 +1,167 @@
+// Command scorpion-bench regenerates every table and figure of the paper's
+// evaluation section (§8) and prints the series as aligned text tables.
+//
+// Usage:
+//
+//	scorpion-bench                 # quick scale (seconds)
+//	scorpion-bench -full           # paper-scale parameters (minutes)
+//	scorpion-bench -only fig9,intel1
+//	scorpion-bench -list
+//
+// Experiments: table12, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
+// fig16, intel1, intel2, expense.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/experiments"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(cfg config, w io.Writer) error
+}
+
+type config struct {
+	scale   experiments.Scale
+	intel   experiments.IntelScale
+	expense experiments.ExpenseScale
+}
+
+var all = []experiment{
+	{"table12", "Tables 1-2: the running example end to end", func(c config, w io.Writer) error {
+		_, err := experiments.RunningExample(w)
+		return err
+	}},
+	{"fig9", "Figure 9: NAIVE optimal predicates as c varies", func(c config, w io.Writer) error {
+		_, err := experiments.Figure9(c.scale, w)
+		return err
+	}},
+	{"fig10", "Figure 10: NAIVE accuracy vs c", func(c config, w io.Writer) error {
+		_, err := experiments.Figure10(c.scale, w)
+		return err
+	}},
+	{"fig11", "Figure 11: NAIVE best-so-far accuracy vs time", func(c config, w io.Writer) error {
+		_, err := experiments.Figure11(c.scale, w)
+		return err
+	}},
+	{"fig12", "Figure 12: accuracy by algorithm (2D)", func(c config, w io.Writer) error {
+		_, err := experiments.Figure12(c.scale, w)
+		return err
+	}},
+	{"fig13", "Figure 13: F-score vs dimensionality", func(c config, w io.Writer) error {
+		_, err := experiments.Figure13(c.scale, w)
+		return err
+	}},
+	{"fig14", "Figure 14: cost vs dimensionality", func(c config, w io.Writer) error {
+		_, err := experiments.Figure14(c.scale, w)
+		return err
+	}},
+	{"fig15", "Figure 15: cost vs dataset size", func(c config, w io.Writer) error {
+		_, err := experiments.Figure15(c.scale, w)
+		return err
+	}},
+	{"fig16", "Figure 16: caching across a c sweep", func(c config, w io.Writer) error {
+		_, err := experiments.Figure16(c.scale, w)
+		return err
+	}},
+	{"intel1", "§8.4 INTEL workload 1 (dying sensor)", func(c config, w io.Writer) error {
+		_, err := experiments.IntelWorkload(1, c.intel, w)
+		return err
+	}},
+	{"intel2", "§8.4 INTEL workload 2 (battery decay)", func(c config, w io.Writer) error {
+		_, err := experiments.IntelWorkload(2, c.intel, w)
+		return err
+	}},
+	{"expense", "§8.4 EXPENSE workload (media buys)", func(c config, w io.Writer) error {
+		_, err := experiments.ExpenseWorkload(c.expense, w)
+		return err
+	}},
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scorpion-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("scorpion-bench", flag.ContinueOnError)
+	var (
+		full = fs.Bool("full", false, "paper-scale parameters (minutes, not seconds)")
+		only = fs.String("only", "", "comma-separated experiment subset")
+		list = fs.Bool("list", false, "list experiments and exit")
+		seed = fs.Int64("seed", 1, "generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range all {
+			fmt.Fprintf(w, "%-8s %s\n", e.name, e.desc)
+		}
+		return nil
+	}
+
+	cfg := config{
+		scale:   experiments.QuickScale(),
+		intel:   experiments.QuickIntel(),
+		expense: experiments.QuickExpense(),
+	}
+	if *full {
+		cfg.scale = experiments.PaperScale()
+		cfg.intel = experiments.PaperIntel()
+		cfg.expense = experiments.PaperExpense()
+	}
+	cfg.scale.Seed = *seed
+
+	selected := all
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		selected = nil
+		for _, e := range all {
+			if want[e.name] {
+				selected = append(selected, e)
+				delete(want, e.name)
+			}
+		}
+		if len(want) > 0 {
+			return fmt.Errorf("unknown experiments: %v (use -list)", keys(want))
+		}
+	}
+
+	mode := "quick"
+	if *full {
+		mode = "paper-scale"
+	}
+	fmt.Fprintf(w, "Scorpion evaluation harness — %s mode, seed %d\n", mode, *seed)
+	start := time.Now()
+	for _, e := range selected {
+		t0 := time.Now()
+		if err := e.run(cfg, w); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintf(w, "\n[%s completed in %s]\n", e.name, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "\nAll experiments completed in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

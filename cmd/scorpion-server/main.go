@@ -1,0 +1,53 @@
+// Command scorpion-server serves a dataset through Scorpion's JSON API —
+// the backend half of the paper's end-to-end exploration tool (Figure 2).
+//
+// Usage:
+//
+//	scorpion-server -csv readings.csv -addr :8080
+//
+//	curl localhost:8080/schema
+//	curl -X POST localhost:8080/query \
+//	     -d '{"sql":"SELECT stddev(temp), hour FROM readings GROUP BY hour"}'
+//	curl -X POST localhost:8080/explain \
+//	     -d '{"sql":"SELECT stddev(temp), hour FROM readings GROUP BY hour",
+//	          "outliers":["h012","h013"],"all_others_holdout":true}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	scorpion "github.com/scorpiondb/scorpion"
+	"github.com/scorpiondb/scorpion/internal/server"
+)
+
+func main() {
+	var (
+		csvPath = flag.String("csv", "", "dataset to serve (CSV with header)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		timeout = flag.Duration("explain-timeout", 2*time.Minute, "per-request explanation deadline")
+	)
+	flag.Parse()
+	if *csvPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := scorpion.ReadCSV(f, scorpion.CSVOptions{})
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(table)
+	srv.ExplainTimeout = *timeout
+	fmt.Printf("serving %d rows × %d columns on %s\n",
+		table.NumRows(), table.Schema().NumColumns(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

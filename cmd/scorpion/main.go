@@ -1,0 +1,160 @@
+// Command scorpion explains outlier aggregate results in a CSV dataset.
+//
+// Usage:
+//
+//	scorpion -csv readings.csv \
+//	   -sql "SELECT stddev(temp), hour FROM readings GROUP BY hour" \
+//	   -outliers h012,h013 -direction high [-holdouts h000,h001 | -all-others] \
+//	   [-c 0.2] [-lambda 0.5] [-algo auto|naive|dt|mc] [-attrs a,b,c] [-topk 5]
+//
+// The tool prints the query result (so the flagged groups can be checked)
+// followed by the ranked explanation predicates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	scorpion "github.com/scorpiondb/scorpion"
+	"github.com/scorpiondb/scorpion/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "scorpion:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("scorpion", flag.ContinueOnError)
+	var (
+		csvPath   = fs.String("csv", "", "input CSV file (header row required)")
+		sqlText   = fs.String("sql", "", "aggregate GROUP BY query")
+		outliers  = fs.String("outliers", "", "comma-separated outlier group keys")
+		holdouts  = fs.String("holdouts", "", "comma-separated hold-out group keys")
+		allOthers = fs.Bool("all-others", false, "treat every unflagged group as a hold-out")
+		direction = fs.String("direction", "high", "error vector: high | low")
+		cKnob     = fs.Float64("c", scorpion.DefaultC, "influence/selectivity knob (§7)")
+		lambda    = fs.Float64("lambda", scorpion.DefaultLambda, "outlier vs hold-out trade-off")
+		algo      = fs.String("algo", "auto", "search algorithm: auto | naive | dt | mc")
+		attrs     = fs.String("attrs", "", "comma-separated explanation attributes (default: all unused)")
+		topK      = fs.Int("topk", 5, "number of explanations to print")
+		discrete  = fs.String("discrete", "", "comma-separated columns to force discrete")
+		showQuery = fs.Bool("show-query", true, "print the aggregate query result first")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *csvPath == "" || *sqlText == "" || *outliers == "" {
+		fs.Usage()
+		return fmt.Errorf("-csv, -sql and -outliers are required")
+	}
+
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	opts := scorpion.CSVOptions{}
+	if *discrete != "" {
+		opts.Kinds = map[string]scorpion.Kind{}
+		for _, col := range splitList(*discrete) {
+			opts.Kinds[col] = scorpion.Discrete
+		}
+	}
+	tbl, err := scorpion.ReadCSV(f, opts)
+	if err != nil {
+		return err
+	}
+
+	req := &scorpion.Request{
+		Table:            tbl,
+		SQL:              *sqlText,
+		Outliers:         splitList(*outliers),
+		HoldOuts:         splitList(*holdouts),
+		AllOthersHoldOut: *allOthers,
+		Lambda:           *lambda,
+		C:                *cKnob,
+		TopK:             *topK,
+		Attributes:       splitList(*attrs),
+	}
+	switch strings.ToLower(*direction) {
+	case "high":
+		req.Direction = scorpion.TooHigh
+	case "low":
+		req.Direction = scorpion.TooLow
+	default:
+		return fmt.Errorf("bad -direction %q (want high or low)", *direction)
+	}
+	switch strings.ToLower(*algo) {
+	case "auto":
+		req.Algorithm = scorpion.Auto
+	case "naive":
+		req.Algorithm = scorpion.Naive
+	case "dt":
+		req.Algorithm = scorpion.DT
+	case "mc":
+		req.Algorithm = scorpion.MC
+	default:
+		return fmt.Errorf("bad -algo %q", *algo)
+	}
+
+	res, err := scorpion.Explain(req)
+	if err != nil {
+		return err
+	}
+
+	if *showQuery {
+		fmt.Printf("query: %s\n\n", *sqlText)
+		flagged := map[string]string{}
+		for _, k := range req.Outliers {
+			flagged[k] = "outlier"
+		}
+		for _, k := range req.HoldOuts {
+			flagged[k] = "holdout"
+		}
+		points := make([]plot.Point, 0, len(res.QueryResult.Rows))
+		for _, row := range res.QueryResult.Rows {
+			mark := flagged[row.Key]
+			if mark == "" && *allOthers {
+				mark = "holdout"
+			}
+			points = append(points, plot.Point{Label: row.Key, Value: row.Value, Mark: mark})
+		}
+		plot.Render(os.Stdout, points, plot.Options{MaxRows: 40})
+		fmt.Println()
+	}
+
+	fmt.Printf("algorithm: %s   scorer calls: %d   elapsed: %s\n\n",
+		res.Stats.Algorithm, res.Stats.ScorerCalls, res.Stats.Duration.Round(1e6))
+	if len(res.Explanations) == 0 {
+		fmt.Println("no explanations found")
+		return nil
+	}
+	for i, e := range res.Explanations {
+		marker := ""
+		if e.InfluencesHoldOut {
+			marker = "  [perturbs hold-outs]"
+		}
+		fmt.Printf("%2d. influence %10.4f  matches %6d tuples  WHERE %s%s\n",
+			i+1, e.Influence, e.MatchedOutlierTuples, e.Where, marker)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeCSV writes a small dataset with an obvious culprit: source "bad"
+// sends high values in the outlier groups.
+func writeCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	content := "grp,src,v\n"
+	for _, g := range []string{"g1", "g2"} {
+		for i := 0; i < 30; i++ {
+			src := []string{"ok1", "ok2", "bad"}[i%3]
+			v := "10"
+			if g == "g2" && src == "bad" {
+				v = "100"
+			}
+			content += g + "," + src + "," + v + "\n"
+		}
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	csv := writeCSV(t)
+	err := run([]string{
+		"-csv", csv,
+		"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+		"-outliers", "g2",
+		"-all-others",
+		"-direction", "high",
+		"-c", "1",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	csv := writeCSV(t)
+	cases := [][]string{
+		{},            // missing everything
+		{"-csv", csv}, // missing sql/outliers
+		{"-csv", csv, "-sql", "SELECT avg(v), grp FROM t GROUP BY grp"}, // missing outliers
+		{"-csv", csv, "-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+			"-outliers", "g2", "-direction", "sideways"},
+		{"-csv", csv, "-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+			"-outliers", "g2", "-algo", "quantum"},
+		{"-csv", "/nonexistent.csv", "-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+			"-outliers", "g2"},
+		{"-csv", csv, "-sql", "not sql", "-outliers", "g2"},
+		{"-csv", csv, "-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+			"-outliers", "nope"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestRunForcedAlgorithms(t *testing.T) {
+	csv := writeCSV(t)
+	for _, algo := range []string{"auto", "naive", "dt"} {
+		err := run([]string{
+			"-csv", csv,
+			"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+			"-outliers", "g2",
+			"-all-others",
+			"-algo", algo,
+			"-show-query=false",
+		})
+		if err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+	// MC works with sum (non-negative values).
+	err := run([]string{
+		"-csv", csv,
+		"-sql", "SELECT sum(v), grp FROM t GROUP BY grp",
+		"-outliers", "g2",
+		"-all-others",
+		"-algo", "mc",
+		"-show-query=false",
+	})
+	if err != nil {
+		t.Errorf("algo mc: %v", err)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitList = %v", got)
+	}
+	if splitList("") != nil {
+		t.Error("splitList(\"\") should be nil")
+	}
+}

@@ -1,0 +1,105 @@
+// Command synthgen emits Scorpion's benchmark datasets as CSV so they can
+// be inspected, loaded elsewhere, or fed back through cmd/scorpion.
+//
+// Usage:
+//
+//	synthgen -kind synth  -dims 2 -per-group 2000 -mu 80 -seed 1 -out synth.csv
+//	synthgen -kind intel  -hours 48 -sensors 61 -workload 1 -out intel.csv
+//	synthgen -kind expense -days 40 -rows-per-day 120 -out expense.csv
+//
+// For synth/intel/expense the tool also prints the flagged outlier and
+// hold-out group keys, ready to paste into cmd/scorpion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	scorpion "github.com/scorpiondb/scorpion"
+	"github.com/scorpiondb/scorpion/datagen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("synthgen", flag.ContinueOnError)
+	var (
+		kind = fs.String("kind", "synth", "dataset kind: synth | intel | expense")
+		out  = fs.String("out", "", "output CSV path (default stdout)")
+		seed = fs.Int64("seed", 1, "generator seed")
+		// synth
+		dims     = fs.Int("dims", 2, "synth: dimension attributes")
+		perGroup = fs.Int("per-group", 2000, "synth: tuples per group")
+		muFlag   = fs.Float64("mu", 80, "synth: outlier mean µ (80=Easy, 30=Hard)")
+		// intel
+		hours    = fs.Int("hours", 48, "intel: trace hours")
+		sensors  = fs.Int("sensors", 61, "intel: mote count")
+		epochs   = fs.Int("epochs", 4, "intel: readings per sensor-hour")
+		workload = fs.Int("workload", 1, "intel: failure script (1 or 2)")
+		// expense
+		days       = fs.Int("days", 40, "expense: days")
+		rowsPerDay = fs.Int("rows-per-day", 120, "expense: disbursements per day")
+		recipients = fs.Int("recipients", 400, "expense: recipient cardinality")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		table    *scorpion.Table
+		outliers []string
+		holdouts []string
+		sql      string
+	)
+	switch strings.ToLower(*kind) {
+	case "synth":
+		ds := datagen.Synth(datagen.SynthConfig{
+			Dims: *dims, TuplesPerGroup: *perGroup, Mu: *muFlag, Seed: *seed,
+		})
+		table, outliers, holdouts = ds.Table, ds.OutlierKeys, ds.HoldOutKeys
+		sql = "SELECT sum(v), g FROM synth GROUP BY g"
+	case "intel":
+		ds := datagen.Intel(datagen.IntelConfig{
+			Hours: *hours, Sensors: *sensors, EpochsPerHour: *epochs,
+			Workload: datagen.IntelWorkload(*workload), Seed: *seed,
+		})
+		table, outliers, holdouts = ds.Table, ds.OutlierHours, ds.HoldOutHours
+		sql = "SELECT stddev(temp), hour FROM readings GROUP BY hour"
+	case "expense":
+		ds := datagen.Expense(datagen.ExpenseConfig{
+			Days: *days, RowsPerDay: *rowsPerDay, Recipients: *recipients, Seed: *seed,
+		})
+		table, outliers, holdouts = ds.Table, ds.OutlierDays, ds.HoldOutDays
+		sql = "SELECT sum(disb_amt), date FROM expenses WHERE candidate = 'Obama' GROUP BY date"
+	default:
+		return fmt.Errorf("unknown -kind %q", *kind)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := scorpion.WriteCSV(w, table); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d rows × %d columns to %s\n",
+			table.NumRows(), table.Schema().NumColumns(), *out)
+		fmt.Printf("suggested query:   %s\n", sql)
+		fmt.Printf("outlier groups:    %s\n", strings.Join(outliers, ","))
+		fmt.Printf("hold-out groups:   %s\n", strings.Join(holdouts, ","))
+	}
+	return nil
+}

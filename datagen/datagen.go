@@ -1,0 +1,55 @@
+// Package datagen exposes Scorpion's deterministic dataset generators: the
+// paper's SYNTH ground-truth benchmark (§8.1) and the simulated INTEL and
+// EXPENSE workloads (§8.4, see DESIGN.md "Substitutions"). All generators
+// are seeded and reproducible.
+package datagen
+
+import (
+	"github.com/scorpiondb/scorpion/internal/datasets"
+	"github.com/scorpiondb/scorpion/internal/synth"
+)
+
+// Re-exported generator configurations and outputs.
+type (
+	// SynthConfig parameterizes the §8.1 synthetic benchmark.
+	SynthConfig = synth.Config
+	// SynthDataset is a generated table plus its planted ground truth.
+	SynthDataset = synth.Dataset
+	// IntelConfig parameterizes the sensor-network simulator.
+	IntelConfig = datasets.IntelConfig
+	// IntelDataset is a simulated sensor trace with scripted failures.
+	IntelDataset = datasets.IntelDataset
+	// IntelWorkload selects the scripted sensor failure.
+	IntelWorkload = datasets.IntelWorkload
+	// ExpenseConfig parameterizes the campaign-expense simulator.
+	ExpenseConfig = datasets.ExpenseConfig
+	// ExpenseDataset is a simulated FEC-style disbursement file.
+	ExpenseDataset = datasets.ExpenseDataset
+)
+
+// Intel failure scripts.
+const (
+	// IntelDyingSensor is §8.4 workload 1: sensor 15 emits >100°C garbage.
+	IntelDyingSensor = datasets.IntelDyingSensor
+	// IntelLowBattery is §8.4 workload 2: sensor 18's battery drains.
+	IntelLowBattery = datasets.IntelLowBattery
+)
+
+// Synth generates a synthetic ground-truth dataset.
+func Synth(cfg SynthConfig) *SynthDataset { return synth.Generate(cfg) }
+
+// SynthEasy generates SYNTH-<dims>D-Easy (µ=80).
+func SynthEasy(dims, perGroup int, seed int64) *SynthDataset {
+	return synth.Easy(dims, perGroup, seed)
+}
+
+// SynthHard generates SYNTH-<dims>D-Hard (µ=30).
+func SynthHard(dims, perGroup int, seed int64) *SynthDataset {
+	return synth.Hard(dims, perGroup, seed)
+}
+
+// Intel generates a simulated Intel-Lab-style sensor trace.
+func Intel(cfg IntelConfig) *IntelDataset { return datasets.GenerateIntel(cfg) }
+
+// Expense generates a simulated campaign-expense ledger.
+func Expense(cfg ExpenseConfig) *ExpenseDataset { return datasets.GenerateExpense(cfg) }

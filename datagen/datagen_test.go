@@ -1,0 +1,56 @@
+package datagen
+
+import (
+	"testing"
+
+	scorpion "github.com/scorpiondb/scorpion"
+)
+
+func TestSynthWrappers(t *testing.T) {
+	easy := SynthEasy(2, 50, 1)
+	if easy.Config.Mu != 80 {
+		t.Errorf("SynthEasy mu = %v", easy.Config.Mu)
+	}
+	hard := SynthHard(3, 50, 1)
+	if hard.Config.Mu != 30 {
+		t.Errorf("SynthHard mu = %v", hard.Config.Mu)
+	}
+	custom := Synth(SynthConfig{Dims: 2, TuplesPerGroup: 40, Mu: 55, Seed: 2})
+	if custom.Table.NumRows() != 40*10 {
+		t.Errorf("custom rows = %d", custom.Table.NumRows())
+	}
+}
+
+func TestIntelWrapper(t *testing.T) {
+	ds := Intel(IntelConfig{Hours: 8, Sensors: 20, EpochsPerHour: 1,
+		Workload: IntelLowBattery, Seed: 3})
+	if ds.FailingSensor != "18" {
+		t.Errorf("failing sensor = %s", ds.FailingSensor)
+	}
+}
+
+func TestExpenseWrapper(t *testing.T) {
+	ds := Expense(ExpenseConfig{Days: 8, RowsPerDay: 20, Seed: 4})
+	if ds.Table.NumRows() == 0 || ds.TruthRows.IsEmpty() {
+		t.Error("empty expense dataset")
+	}
+}
+
+// TestGeneratedTablesWorkWithPublicAPI is the end-to-end contract: every
+// generator's output is directly explainable.
+func TestGeneratedTablesWorkWithPublicAPI(t *testing.T) {
+	ds := SynthEasy(2, 60, 5)
+	res, err := scorpion.Explain(&scorpion.Request{
+		Table:            ds.Table,
+		SQL:              "SELECT avg(v), g FROM synth GROUP BY g",
+		Outliers:         ds.OutlierKeys,
+		AllOthersHoldOut: true,
+		Direction:        scorpion.TooHigh,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Explanations) == 0 {
+		t.Fatal("no explanations from generated dataset")
+	}
+}

@@ -1,0 +1,94 @@
+// Server: the paper's Figure 2 architecture end to end over HTTP. The
+// program generates the simulated Intel deployment, serves it through
+// Scorpion's JSON API on a local port, then plays the front-end's role:
+// query, flag the anomalous hours, and ask for explanations — all over
+// the wire.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"github.com/scorpiondb/scorpion/datagen"
+	"github.com/scorpiondb/scorpion/internal/server"
+)
+
+func main() {
+	ds := datagen.Intel(datagen.IntelConfig{
+		Hours: 36, Sensors: 30, EpochsPerHour: 2, Seed: 11,
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		log.Fatal(http.Serve(ln, server.New(ds.Table)))
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving the simulated deployment at", base)
+
+	// 1. The front-end runs the aggregate query to draw the chart.
+	var queryOut struct {
+		Rows []struct {
+			Key   string  `json:"key"`
+			Value float64 `json:"value"`
+		} `json:"rows"`
+	}
+	post(base+"/query", map[string]any{
+		"sql": "SELECT stddev(temp), hour FROM readings GROUP BY hour",
+	}, &queryOut)
+	fmt.Println("\nstddev(temp) by hour (every 6th):")
+	for i, row := range queryOut.Rows {
+		if i%6 == 0 {
+			fmt.Printf("  %s  %8.3f\n", row.Key, row.Value)
+		}
+	}
+
+	// 2. The user lassoes the spiking hours and asks why.
+	var explainOut struct {
+		Algorithm    string `json:"algorithm"`
+		Explanations []struct {
+			Where     string  `json:"where"`
+			Influence float64 `json:"influence"`
+		} `json:"explanations"`
+	}
+	post(base+"/explain", map[string]any{
+		"sql":                "SELECT stddev(temp), hour FROM readings GROUP BY hour",
+		"outliers":           ds.OutlierHours,
+		"all_others_holdout": true,
+		"direction":          "high",
+		"attributes":         []string{"sensorid", "voltage", "light"},
+		"top_k":              3,
+	}, &explainOut)
+
+	fmt.Printf("\nexplanations (algorithm %s):\n", explainOut.Algorithm)
+	for i, e := range explainOut.Explanations {
+		fmt.Printf("  %d. %s  (influence %.2f)\n", i+1, e.Where, e.Influence)
+	}
+	fmt.Printf("\nscripted culprit was sensor %s\n", ds.FailingSensor)
+}
+
+func post(url string, body any, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		log.Fatalf("%s: %s — %s", url, resp.Status, msg.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

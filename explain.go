@@ -1,0 +1,413 @@
+package scorpion
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/aggregate"
+	"github.com/scorpiondb/scorpion/internal/feature"
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/merge"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	"github.com/scorpiondb/scorpion/internal/partition/dt"
+	"github.com/scorpiondb/scorpion/internal/partition/mc"
+	"github.com/scorpiondb/scorpion/internal/partition/naive"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/query"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// Algorithm selects the predicate search strategy.
+type Algorithm int
+
+const (
+	// Auto picks the best algorithm for the aggregate's properties:
+	// MC for independent anti-monotonic aggregates whose data passes
+	// check(D), DT for independent aggregates, NAIVE otherwise.
+	Auto Algorithm = iota
+	// Naive is the exhaustive §4.2 search (any aggregate).
+	Naive
+	// DT is the §6.1 regression-tree partitioner (independent aggregates).
+	DT
+	// MC is the §6.2 bottom-up search (independent, anti-monotonic).
+	MC
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case Naive:
+		return "naive"
+	case DT:
+		return "dt"
+	case MC:
+		return "mc"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Request describes one explanation task.
+type Request struct {
+	// Table is the input relation D.
+	Table *Table
+	// SQL is the aggregate query (single table, one aggregate, GROUP BY).
+	SQL string
+	// Outliers lists the group keys the user flagged as anomalous. Keys of
+	// multi-column GROUP BYs join the rendered values with "\x1f".
+	Outliers []string
+	// HoldOuts lists the group keys that must stay unchanged. When empty
+	// and AllOthersHoldOut is set, every unflagged group is a hold-out.
+	HoldOuts []string
+	// AllOthersHoldOut treats every non-outlier group as a hold-out.
+	AllOthersHoldOut bool
+	// Direction is the error vector applied to all outliers (TooHigh or
+	// TooLow). Use Directions for per-key control.
+	Direction Direction
+	// Directions optionally overrides Direction per outlier key.
+	Directions map[string]Direction
+	// Attributes restricts the explanation search space; empty means all
+	// of A_rest (every attribute neither grouped nor aggregated).
+	Attributes []string
+	// AutoSelectAttributes, when positive, keeps only the k attributes most
+	// informative about tuple influence (the §6.4 dimensionality-reduction
+	// step, implemented via filter-based feature selection). Ignored when
+	// Attributes is set explicitly.
+	AutoSelectAttributes int
+	// Lambda is the outlier/hold-out trade-off (§3.2); default 0.5.
+	Lambda float64
+	// C is the §7 influence/selectivity knob; default 0.2. Lower values
+	// favor broad predicates, higher values selective ones.
+	C float64
+	// Perturb, when non-nil, switches influence from tuple deletion to
+	// value perturbation (the §3.2 footnote's alternative): Δ measures how
+	// the result would change had the matched tuples' aggregate values
+	// been *Perturb instead.
+	Perturb *float64
+	// Algorithm forces a specific search strategy.
+	Algorithm Algorithm
+	// NaiveWorkers > 1 fans NAIVE's enumeration out over that many
+	// goroutines (the parallelization §8.3.2 leaves to future work).
+	NaiveWorkers int
+	// TopK bounds the returned explanations (default 5).
+	TopK int
+
+	// NaiveParams, DTParams, MCParams and MergeParams override algorithm
+	// tuning knobs when non-nil.
+	NaiveParams *naive.Params
+	DTParams    *dt.Params
+	MCParams    *mc.Params
+	MergeParams *merge.Params
+}
+
+// DefaultC is the default §7 selectivity knob value.
+const DefaultC = 0.2
+
+// DefaultLambda is the default hold-out trade-off.
+const DefaultLambda = 0.5
+
+// Explanation is one ranked answer.
+type Explanation struct {
+	// Predicate filters the tuples that explain the outliers.
+	Predicate Predicate
+	// Where is the predicate rendered as a SQL-ish condition with
+	// dictionary values resolved.
+	Where string
+	// Influence is inf(O, H, p, V), the ranking objective.
+	Influence float64
+	// MatchedOutlierTuples is |p(g_O)|.
+	MatchedOutlierTuples int
+	// Matched is p(g_O) itself: the influential subset of the outliers'
+	// provenance. This is the paper's §2 "extending provenance
+	// functionality" use case — the aggregate's full provenance reduced to
+	// the inputs that actually caused the anomaly.
+	Matched *RowSet
+	// HoldOutPenalty is max_h |inf(h, p)|.
+	HoldOutPenalty float64
+	// InfluencesHoldOut marks explanations that perturb a hold-out result.
+	InfluencesHoldOut bool
+}
+
+// Stats reports search-cost counters.
+type Stats struct {
+	// Algorithm is the strategy actually used.
+	Algorithm Algorithm
+	// Duration is the end-to-end search time.
+	Duration time.Duration
+	// ScorerCalls counts (group × predicate) influence evaluations.
+	ScorerCalls int64
+	// Candidates counts predicates considered.
+	Candidates int
+}
+
+// Result is the outcome of Explain.
+type Result struct {
+	// Explanations are ranked by descending influence.
+	Explanations []Explanation
+	// Stats reports cost counters.
+	Stats Stats
+	// QueryResult is the executed aggregate query with provenance.
+	QueryResult *query.Result
+}
+
+// Explain runs the full Scorpion pipeline: execute the query, resolve the
+// flagged groups through provenance, and search for the most influential
+// predicates.
+func Explain(req *Request) (*Result, error) {
+	start := time.Now()
+	scorer, space, qres, err := buildScorer(req)
+	if err != nil {
+		return nil, err
+	}
+	algo, err := chooseAlgorithm(req, scorer)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := runSearch(req, scorer, space, algo)
+	if err != nil {
+		return nil, err
+	}
+	res := assemble(req, scorer, cands, qres)
+	res.Stats.Algorithm = algo
+	res.Stats.Duration = time.Since(start)
+	res.Stats.ScorerCalls = scorer.Calls()
+	return res, nil
+}
+
+// buildScorer parses, executes and labels the query.
+func buildScorer(req *Request) (*influence.Scorer, *predicate.Space, *query.Result, error) {
+	if req.Table == nil {
+		return nil, nil, nil, fmt.Errorf("scorpion: request has no table")
+	}
+	if req.SQL == "" {
+		return nil, nil, nil, fmt.Errorf("scorpion: request has no SQL query")
+	}
+	if len(req.Outliers) == 0 {
+		return nil, nil, nil, fmt.Errorf("scorpion: request flags no outlier results")
+	}
+	q, err := query.FromSQL(req.Table, req.SQL)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	qres, err := q.Run()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	task := &influence.Task{
+		Table:   req.Table,
+		Agg:     q.Agg,
+		AggCol:  q.AggCol,
+		Lambda:  req.Lambda,
+		C:       req.C,
+		Perturb: req.Perturb,
+	}
+	if task.Lambda == 0 {
+		task.Lambda = DefaultLambda
+	}
+	if task.C == 0 {
+		task.C = DefaultC
+	}
+
+	defaultDir := req.Direction
+	if defaultDir == 0 {
+		defaultDir = TooHigh
+	}
+	flagged := make(map[string]bool, len(req.Outliers))
+	for _, key := range req.Outliers {
+		row, ok := qres.Lookup(key)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("scorpion: no query result group %q (have %v)", key, qres.Keys())
+		}
+		dir := defaultDir
+		if d, ok := req.Directions[key]; ok {
+			dir = d
+		}
+		task.Outliers = append(task.Outliers, influence.Group{Key: key, Rows: row.Group, Direction: dir})
+		flagged[key] = true
+	}
+	holdKeys := req.HoldOuts
+	if len(holdKeys) == 0 && req.AllOthersHoldOut {
+		for _, key := range qres.Keys() {
+			if !flagged[key] {
+				holdKeys = append(holdKeys, key)
+			}
+		}
+	}
+	for _, key := range holdKeys {
+		if flagged[key] {
+			return nil, nil, nil, fmt.Errorf("scorpion: group %q is both outlier and hold-out", key)
+		}
+		row, ok := qres.Lookup(key)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("scorpion: no query result group %q", key)
+		}
+		task.HoldOuts = append(task.HoldOuts, influence.Group{Key: key, Rows: row.Group})
+	}
+
+	attrs := req.Attributes
+	if len(attrs) == 0 {
+		attrs = q.RestAttributes()
+	}
+	if len(attrs) == 0 {
+		return nil, nil, nil, fmt.Errorf("scorpion: no attributes available to build explanations")
+	}
+	space, err := predicate.NewSpace(req.Table, attrs, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	scorer, err := influence.NewScorer(task)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if req.AutoSelectAttributes > 0 && len(req.Attributes) == 0 &&
+		req.AutoSelectAttributes < len(attrs) {
+		selected := feature.Select(scorer, space, req.AutoSelectAttributes)
+		space, err = predicate.NewSpace(req.Table, selected, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return scorer, space, qres, nil
+}
+
+// chooseAlgorithm resolves Auto using the aggregate's properties (§5).
+func chooseAlgorithm(req *Request, scorer *influence.Scorer) (Algorithm, error) {
+	task := scorer.Task()
+	if req.Algorithm != Auto {
+		// Validate forced choices early for a clear error.
+		switch req.Algorithm {
+		case DT:
+			if !task.Agg.Independent() {
+				return 0, fmt.Errorf("scorpion: DT requires an independent aggregate; %q is not", task.Agg.Name())
+			}
+		case MC:
+			if _, ok := task.Agg.(aggregate.AntiMonotonic); !ok || !task.Agg.Independent() {
+				return 0, fmt.Errorf("scorpion: MC requires an independent anti-monotonic aggregate; %q is not", task.Agg.Name())
+			}
+		}
+		return req.Algorithm, nil
+	}
+	if !task.Agg.Independent() {
+		return Naive, nil
+	}
+	if am, ok := task.Agg.(aggregate.AntiMonotonic); ok {
+		pass := true
+		for _, g := range task.Outliers {
+			vals := make([]float64, 0, g.Rows.Count())
+			if task.AggCol >= 0 {
+				col := task.Table.Floats(task.AggCol)
+				g.Rows.ForEach(func(r int) { vals = append(vals, col[r]) })
+			}
+			if !am.Check(vals) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return MC, nil
+		}
+	}
+	return DT, nil
+}
+
+// runSearch executes the chosen partitioner (plus the Merger where the
+// architecture calls for it) and returns ranked candidates.
+func runSearch(req *Request, scorer *influence.Scorer, space *predicate.Space, algo Algorithm) ([]partition.Candidate, error) {
+	switch algo {
+	case Naive:
+		params := naive.Params{}
+		if req.NaiveParams != nil {
+			params = *req.NaiveParams
+		}
+		var res *naive.Result
+		var err error
+		if req.NaiveWorkers > 1 {
+			res, err = naive.RunParallel(scorer, space, params, req.NaiveWorkers)
+		} else {
+			res, err = naive.Run(scorer, space, params)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return res.TopK, nil
+
+	case DT:
+		params := dt.Params{}
+		if req.DTParams != nil {
+			params = *req.DTParams
+		}
+		res, err := dt.Run(scorer, space, params)
+		if err != nil {
+			return nil, err
+		}
+		mergeParams := merge.Params{TopQuartileOnly: true, UseApproximation: scorer.Incremental()}
+		if req.MergeParams != nil {
+			mergeParams = *req.MergeParams
+		}
+		merger := merge.New(scorer, space, mergeParams)
+		return merger.Merge(res.Candidates), nil
+
+	case MC:
+		params := mc.Params{}
+		if req.MCParams != nil {
+			params = *req.MCParams
+		}
+		if req.MergeParams != nil {
+			params.Merge = *req.MergeParams
+		}
+		res, err := mc.Run(scorer, space, params)
+		if err != nil {
+			return nil, err
+		}
+		return res.Candidates, nil
+
+	default:
+		return nil, fmt.Errorf("scorpion: unknown algorithm %v", algo)
+	}
+}
+
+// assemble converts candidates into ranked explanations.
+func assemble(req *Request, scorer *influence.Scorer, cands []partition.Candidate, qres *query.Result) *Result {
+	topK := req.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+	cands = partition.Dedupe(cands)
+	// Re-score exactly and re-rank before cutting.
+	for i := range cands {
+		outMean, holdPen := scorer.Parts(cands[i].Pred)
+		cands[i].Score = scorer.Task().Lambda*outMean - (1-scorer.Task().Lambda)*holdPen
+		cands[i].HoldPenalty = holdPen
+	}
+	partition.SortByScore(cands)
+	if len(cands) > topK {
+		cands = cands[:topK]
+	}
+	res := &Result{QueryResult: qres}
+	gO := outlierUnion(scorer.Task())
+	for _, c := range cands {
+		matched := c.Pred.Eval(req.Table, gO)
+		res.Explanations = append(res.Explanations, Explanation{
+			Predicate:            c.Pred,
+			Where:                c.Pred.Format(req.Table),
+			Influence:            c.Score,
+			MatchedOutlierTuples: matched.Count(),
+			Matched:              matched,
+			HoldOutPenalty:       c.HoldPenalty,
+			InfluencesHoldOut:    c.InfluencesHoldOut,
+		})
+	}
+	res.Stats.Candidates = len(cands)
+	return res
+}
+
+func outlierUnion(task *influence.Task) *RowSet {
+	u := relation.NewRowSet(task.Table.NumRows())
+	for _, g := range task.Outliers {
+		u.Or(g.Rows)
+	}
+	return u
+}

@@ -1,0 +1,130 @@
+package scorpion
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/merge"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	"github.com/scorpiondb/scorpion/internal/partition/dt"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/query"
+)
+
+// Explainer answers repeated explanation requests over the same query and
+// labels while the user sweeps the c knob (e.g. via a UI slider). It caches
+// what §8.3.3 shows is reusable:
+//
+//   - the DT partitioning, which is agnostic to c, and
+//   - the Merger results of previous runs, which seed runs at lower c
+//     (decreasing c only grows predicates further).
+//
+// Explainer requires an independent aggregate (it is a DT-path facility).
+type Explainer struct {
+	req   Request
+	qres  *query.Result
+	space *predicate.Space
+
+	part *dt.Partitioning
+	// mergedByC caches final merged candidates per c value.
+	mergedByC map[float64][]partition.Candidate
+}
+
+// NewExplainer validates the request and prepares the reusable state.
+// Request.C is ignored; pass c per ExplainC call.
+func NewExplainer(req *Request) (*Explainer, error) {
+	r := *req
+	r.C = 1 // placeholder; per-call c overrides
+	scorer, space, qres, err := buildScorer(&r)
+	if err != nil {
+		return nil, err
+	}
+	if !scorer.Task().Agg.Independent() {
+		return nil, fmt.Errorf("scorpion: Explainer requires an independent aggregate; %q is not",
+			scorer.Task().Agg.Name())
+	}
+	return &Explainer{
+		req:       r,
+		qres:      qres,
+		space:     space,
+		mergedByC: make(map[float64][]partition.Candidate),
+	}, nil
+}
+
+// ExplainC runs (or replays) the explanation at the given c value, reusing
+// the cached partitioning and any cached merger results with higher c.
+func (e *Explainer) ExplainC(c float64) (*Result, error) {
+	start := time.Now()
+	r := e.req
+	r.C = c
+	scorer, _, _, err := buildScorer(&r)
+	if err != nil {
+		return nil, err
+	}
+	if e.part == nil {
+		params := dt.Params{}
+		if e.req.DTParams != nil {
+			params = *e.req.DTParams
+		}
+		pt, err := dt.Partition(scorer, e.space, params)
+		if err != nil {
+			return nil, err
+		}
+		e.part = pt
+	}
+	cands := e.part.Candidates(scorer)
+
+	mergeParams := merge.Params{TopQuartileOnly: true, UseApproximation: scorer.Incremental()}
+	if e.req.MergeParams != nil {
+		mergeParams = *e.req.MergeParams
+	}
+	merger := merge.New(scorer, e.space, mergeParams)
+	merged := merger.MergeSeeded(cands, e.seedsFor(c))
+	e.mergedByC[c] = merged
+
+	res := assemble(&r, scorer, merged, e.qres)
+	res.Stats.Algorithm = DT
+	res.Stats.Duration = time.Since(start)
+	res.Stats.ScorerCalls = scorer.Calls()
+	return res, nil
+}
+
+// seedsFor returns the cached merged results of the smallest cached c value
+// that is still greater than c — the §8.3.3 reuse rule ("if the user first
+// ran c = 1, those results can be re-used when the user reduces c to 0.5").
+func (e *Explainer) seedsFor(c float64) []partition.Candidate {
+	var keys []float64
+	for k := range e.mergedByC {
+		if k > c {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Float64s(keys)
+	seeds := e.mergedByC[keys[0]]
+	// Seed with the strongest few; seeding everything would defeat the
+	// point of the cache.
+	if len(seeds) > 5 {
+		seeds = seeds[:5]
+	}
+	return seeds
+}
+
+// InvalidateCache drops all cached state (e.g. after editing labels).
+func (e *Explainer) InvalidateCache() {
+	e.part = nil
+	e.mergedByC = make(map[float64][]partition.Candidate)
+}
+
+// QueryResult exposes the executed query with provenance.
+func (e *Explainer) QueryResult() *query.Result { return e.qres }
+
+// buildScorerForTest is a test hook returning the scorer for a request.
+func buildScorerForTest(req *Request) (*influence.Scorer, error) {
+	s, _, _, err := buildScorer(req)
+	return s, err
+}

@@ -1,0 +1,199 @@
+package scorpion
+
+// Failure-injection tests: malformed inputs, degenerate data, NaN/Inf
+// values, and empty corners of the API must fail cleanly (errors or
+// well-defined zero-influence behavior), never panic.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplainMalformedCSVKinds(t *testing.T) {
+	// Discrete-valued column forced continuous must fail at load time —
+	// covered in relation — but type-inferred tables whose aggregate
+	// column ends up discrete must fail at bind time.
+	csv := "g,v\na,x\nb,y\n"
+	tbl, err := ReadCSV(strings.NewReader(csv), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Explain(&Request{
+		Table:     tbl,
+		SQL:       "SELECT avg(v), g FROM t GROUP BY g",
+		Outliers:  []string{"a"},
+		Direction: TooHigh,
+	})
+	if err == nil {
+		t.Fatal("expected error for discrete aggregate column")
+	}
+}
+
+func TestExplainNaNValues(t *testing.T) {
+	schema, _ := NewSchema(
+		Column{Name: "g", Kind: Discrete},
+		Column{Name: "x", Kind: Continuous},
+		Column{Name: "v", Kind: Continuous},
+	)
+	b := NewBuilder(schema)
+	for i := 0; i < 40; i++ {
+		v := 10.0
+		if i%20 == 5 {
+			v = math.NaN()
+		}
+		if i >= 20 && i%3 == 0 {
+			v = 100
+		}
+		b.MustAppend(Row{
+			S([]string{"hold", "out"}[i/20]),
+			F(float64(i % 20)),
+			F(v),
+		})
+	}
+	res, err := Explain(&Request{
+		Table:            b.Build(),
+		SQL:              "SELECT avg(v), g FROM t GROUP BY g",
+		Outliers:         []string{"out"},
+		AllOthersHoldOut: true,
+		Direction:        TooHigh,
+		C:                0.5,
+	})
+	if err != nil {
+		t.Fatalf("NaN data: %v", err)
+	}
+	// Influences must never be NaN even with NaN inputs in play.
+	for _, e := range res.Explanations {
+		if math.IsNaN(e.Influence) || math.IsInf(e.Influence, 0) {
+			t.Fatalf("explanation %q has non-finite influence %v", e.Where, e.Influence)
+		}
+	}
+}
+
+func TestExplainSingleTupleGroups(t *testing.T) {
+	schema, _ := NewSchema(
+		Column{Name: "g", Kind: Discrete},
+		Column{Name: "a", Kind: Continuous},
+		Column{Name: "v", Kind: Continuous},
+	)
+	b := NewBuilder(schema)
+	b.MustAppend(Row{S("g1"), F(1), F(10)})
+	b.MustAppend(Row{S("g2"), F(2), F(99)})
+	res, err := Explain(&Request{
+		Table:     b.Build(),
+		SQL:       "SELECT avg(v), g FROM t GROUP BY g",
+		Outliers:  []string{"g2"},
+		HoldOuts:  []string{"g1"},
+		Direction: TooHigh,
+	})
+	if err != nil {
+		t.Fatalf("single-tuple groups: %v", err)
+	}
+	// Deleting the only tuple would erase the result: AVG treats it as
+	// non-influential, so everything scores zero — but nothing panics.
+	for _, e := range res.Explanations {
+		if math.IsNaN(e.Influence) {
+			t.Fatal("NaN influence")
+		}
+	}
+}
+
+func TestExplainConstantAttribute(t *testing.T) {
+	// An explanation attribute with a single constant value offers no
+	// splits; the search must still return (possibly trivial) results.
+	schema, _ := NewSchema(
+		Column{Name: "g", Kind: Discrete},
+		Column{Name: "constant", Kind: Continuous},
+		Column{Name: "v", Kind: Continuous},
+	)
+	b := NewBuilder(schema)
+	for i := 0; i < 30; i++ {
+		v := 10.0
+		if i >= 15 {
+			v = 50
+		}
+		b.MustAppend(Row{S([]string{"a", "b"}[i/15]), F(7), F(v)})
+	}
+	_, err := Explain(&Request{
+		Table:            b.Build(),
+		SQL:              "SELECT avg(v), g FROM t GROUP BY g",
+		Outliers:         []string{"b"},
+		AllOthersHoldOut: true,
+		Direction:        TooHigh,
+	})
+	if err != nil {
+		t.Fatalf("constant attribute: %v", err)
+	}
+}
+
+func TestExplainNoRestAttributes(t *testing.T) {
+	// Every column grouped or aggregated: nothing to explain with.
+	schema, _ := NewSchema(
+		Column{Name: "g", Kind: Discrete},
+		Column{Name: "v", Kind: Continuous},
+	)
+	b := NewBuilder(schema)
+	b.MustAppend(Row{S("a"), F(1)})
+	b.MustAppend(Row{S("b"), F(2)})
+	_, err := Explain(&Request{
+		Table:     b.Build(),
+		SQL:       "SELECT avg(v), g FROM t GROUP BY g",
+		Outliers:  []string{"b"},
+		Direction: TooHigh,
+	})
+	if err == nil || !strings.Contains(err.Error(), "no attributes") {
+		t.Fatalf("expected no-attributes error, got %v", err)
+	}
+}
+
+func TestExplainEmptyTable(t *testing.T) {
+	schema, _ := NewSchema(
+		Column{Name: "g", Kind: Discrete},
+		Column{Name: "a", Kind: Continuous},
+		Column{Name: "v", Kind: Continuous},
+	)
+	tbl := NewBuilder(schema).Build()
+	_, err := Explain(&Request{
+		Table:     tbl,
+		SQL:       "SELECT avg(v), g FROM t GROUP BY g",
+		Outliers:  []string{"a"},
+		Direction: TooHigh,
+	})
+	if err == nil {
+		t.Fatal("expected error for empty table (no groups)")
+	}
+}
+
+func TestExplainInfValues(t *testing.T) {
+	schema, _ := NewSchema(
+		Column{Name: "g", Kind: Discrete},
+		Column{Name: "a", Kind: Continuous},
+		Column{Name: "v", Kind: Continuous},
+	)
+	b := NewBuilder(schema)
+	for i := 0; i < 30; i++ {
+		v := 10.0
+		if i == 20 {
+			v = math.Inf(1)
+		}
+		if i > 20 {
+			v = 90
+		}
+		b.MustAppend(Row{S([]string{"h", "o"}[i/15]), F(float64(i % 15)), F(v)})
+	}
+	res, err := Explain(&Request{
+		Table:            b.Build(),
+		SQL:              "SELECT avg(v), g FROM t GROUP BY g",
+		Outliers:         []string{"o"},
+		AllOthersHoldOut: true,
+		Direction:        TooHigh,
+	})
+	if err != nil {
+		t.Fatalf("Inf data: %v", err)
+	}
+	for _, e := range res.Explanations {
+		if math.IsNaN(e.Influence) {
+			t.Fatalf("NaN influence with Inf input")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/query"
+)
+
+func TestIntelShape(t *testing.T) {
+	ds := GenerateIntel(IntelConfig{Hours: 24, Sensors: 20, EpochsPerHour: 2, Seed: 1})
+	if got := ds.Table.NumRows(); got != 24*20*2 {
+		t.Fatalf("rows = %d, want %d", got, 24*20*2)
+	}
+	if len(ds.OutlierHours)+len(ds.HoldOutHours) != 24 {
+		t.Fatalf("hour partition = %d + %d, want 24",
+			len(ds.OutlierHours), len(ds.HoldOutHours))
+	}
+	if ds.FailingSensor != "15" {
+		t.Errorf("workload 1 failing sensor = %s", ds.FailingSensor)
+	}
+	if ds.TruthRows.IsEmpty() {
+		t.Error("no scripted truth rows")
+	}
+	// Tiny deployments clamp the culprit to the last mote.
+	small := GenerateIntel(IntelConfig{Hours: 6, Sensors: 5, Seed: 1})
+	if small.FailingSensor != "5" {
+		t.Errorf("clamped failing sensor = %s, want 5", small.FailingSensor)
+	}
+}
+
+func TestIntelDeterministic(t *testing.T) {
+	a := GenerateIntel(IntelConfig{Hours: 12, Sensors: 8, Seed: 5})
+	b := GenerateIntel(IntelConfig{Hours: 12, Sensors: 8, Seed: 5})
+	if !a.TruthRows.Equal(b.TruthRows) {
+		t.Fatal("same seed produced different truth rows")
+	}
+	tempCol := a.Table.Schema().MustIndex("temp")
+	for r := 0; r < a.Table.NumRows(); r += 53 {
+		if a.Table.Float(tempCol, r) != b.Table.Float(tempCol, r) {
+			t.Fatal("same seed produced different temperatures")
+		}
+	}
+}
+
+func TestIntelFailureRaisesStddev(t *testing.T) {
+	ds := GenerateIntel(IntelConfig{Hours: 36, Sensors: 20, EpochsPerHour: 2, Seed: 2})
+	q, err := query.FromSQL(ds.Table, "SELECT stddev(temp), hour FROM readings GROUP BY hour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failAvg, okAvg float64
+	for _, h := range ds.OutlierHours {
+		row, _ := res.Lookup(h)
+		failAvg += row.Value
+	}
+	failAvg /= float64(len(ds.OutlierHours))
+	for _, h := range ds.HoldOutHours {
+		row, _ := res.Lookup(h)
+		okAvg += row.Value
+	}
+	okAvg /= float64(len(ds.HoldOutHours))
+	if failAvg < 5*okAvg {
+		t.Errorf("failure hours stddev %v not clearly above normal %v", failAvg, okAvg)
+	}
+}
+
+func TestIntelWorkload2Characteristics(t *testing.T) {
+	ds := GenerateIntel(IntelConfig{Hours: 24, Sensors: 25, Workload: IntelLowBattery, Seed: 3})
+	if ds.FailingSensor != "18" {
+		t.Fatalf("workload 2 failing sensor = %s", ds.FailingSensor)
+	}
+	voltCol := ds.Table.Schema().MustIndex("voltage")
+	tempCol := ds.Table.Schema().MustIndex("temp")
+	lightCol := ds.Table.Schema().MustIndex("light")
+	ds.TruthRows.ForEach(func(r int) {
+		if v := ds.Table.Float(voltCol, r); v >= 2.4 {
+			t.Fatalf("failing reading %d has voltage %v ≥ 2.4", r, v)
+		}
+		temp := ds.Table.Float(tempCol, r)
+		if temp < 90 || temp > 122.5 {
+			t.Fatalf("failing reading %d temp %v outside [90,122]", r, temp)
+		}
+		light := ds.Table.Float(lightCol, r)
+		if light >= 283 && light <= 354 && temp < 110 {
+			t.Fatalf("reading %d in the hot light band has temp %v < 110", r, temp)
+		}
+	})
+}
+
+func TestExpenseShape(t *testing.T) {
+	ds := GenerateExpense(ExpenseConfig{Days: 20, RowsPerDay: 50, OutlierDays: 3, Seed: 1})
+	if len(ds.OutlierDays) != 3 {
+		t.Fatalf("outlier days = %d, want 3", len(ds.OutlierDays))
+	}
+	if len(ds.OutlierDays)+len(ds.HoldOutDays) != 20 {
+		t.Fatalf("day partition = %d + %d",
+			len(ds.OutlierDays), len(ds.HoldOutDays))
+	}
+	if ds.Table.Schema().NumColumns() != 14 {
+		t.Fatalf("columns = %d, want 14", ds.Table.Schema().NumColumns())
+	}
+	if ds.TruthRows.IsEmpty() {
+		t.Fatal("no truth rows")
+	}
+}
+
+func TestExpenseOutlierDaysDominateSum(t *testing.T) {
+	ds := GenerateExpense(ExpenseConfig{Days: 20, RowsPerDay: 60, OutlierDays: 4, Seed: 7})
+	q, err := query.FromSQL(ds.Table,
+		"SELECT sum(disb_amt), date FROM expenses WHERE candidate = 'Obama' GROUP BY date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	minOutlier := 1e18
+	maxNormal := 0.0
+	for _, d := range ds.OutlierDays {
+		row, ok := res.Lookup(d)
+		if !ok {
+			t.Fatalf("missing outlier day %s", d)
+		}
+		if row.Value < minOutlier {
+			minOutlier = row.Value
+		}
+	}
+	for _, d := range ds.HoldOutDays {
+		row, ok := res.Lookup(d)
+		if !ok {
+			t.Fatalf("missing day %s", d)
+		}
+		if row.Value > maxNormal {
+			maxNormal = row.Value
+		}
+	}
+	if minOutlier < 5_000_000 {
+		t.Errorf("weakest outlier day sums to %v, want > $5M", minOutlier)
+	}
+	if maxNormal > 1_000_000 {
+		t.Errorf("normal day sums to %v, want modest baseline", maxNormal)
+	}
+}
+
+func TestExpenseTruthMatchesDefinition(t *testing.T) {
+	ds := GenerateExpense(ExpenseConfig{Days: 15, RowsPerDay: 40, Seed: 11})
+	amtCol := ds.Table.Schema().MustIndex("disb_amt")
+	for r := 0; r < ds.Table.NumRows(); r++ {
+		want := ds.Table.Float(amtCol, r) > 1_500_000
+		if got := ds.TruthRows.Contains(r); got != want {
+			t.Fatalf("truth row mismatch at %d: %v vs amount %v",
+				r, got, ds.Table.Float(amtCol, r))
+		}
+	}
+	// All truth rows are GMMB INC. media buys by construction.
+	recipCol := ds.Table.Schema().MustIndex("recipient_nm")
+	descCol := ds.Table.Schema().MustIndex("disb_desc")
+	ds.TruthRows.ForEach(func(r int) {
+		if ds.Table.Str(recipCol, r) != "GMMB INC." || ds.Table.Str(descCol, r) != "MEDIA BUY" {
+			t.Fatalf("truth row %d is not a GMMB media buy", r)
+		}
+	})
+}
+
+func TestExpenseDeterministic(t *testing.T) {
+	a := GenerateExpense(ExpenseConfig{Days: 10, RowsPerDay: 30, Seed: 4})
+	b := GenerateExpense(ExpenseConfig{Days: 10, RowsPerDay: 30, Seed: 4})
+	if a.Table.NumRows() != b.Table.NumRows() || !a.TruthRows.Equal(b.TruthRows) {
+		t.Fatal("same seed produced different datasets")
+	}
+}

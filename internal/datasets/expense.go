@@ -1,0 +1,187 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// ExpenseConfig parameterizes the campaign-expense simulator (§8.1
+// EXPENSE). The schema mirrors the FEC disclosure file's shape: one row per
+// disbursement, 14 attributes of widely varying cardinality, of which 12
+// are available for explanations.
+type ExpenseConfig struct {
+	// Days is the number of calendar days in the trace.
+	Days int
+	// RowsPerDay is the typical number of disbursements per day.
+	RowsPerDay int
+	// OutlierDays is how many days carry the scripted media buys (7 in the
+	// paper's workload).
+	OutlierDays int
+	// Recipients is the recipient_nm cardinality (the real file has ~18k;
+	// default 400 keeps NAIVE runnable).
+	Recipients int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+func (c ExpenseConfig) withDefaults() ExpenseConfig {
+	if c.Days <= 0 {
+		c.Days = 40
+	}
+	if c.RowsPerDay <= 0 {
+		c.RowsPerDay = 120
+	}
+	if c.OutlierDays <= 0 {
+		c.OutlierDays = 7
+	}
+	if c.Recipients <= 0 {
+		c.Recipients = 400
+	}
+	return c
+}
+
+// ExpenseDataset is a simulated disbursement file with ground truth.
+type ExpenseDataset struct {
+	Config ExpenseConfig
+	Table  *relation.Table
+	// OutlierDays and HoldOutDays are the group keys of each class.
+	OutlierDays []string
+	HoldOutDays []string
+	// TruthRows are rows with disb_amt > $1.5M (the paper's ground truth).
+	TruthRows *relation.RowSet
+}
+
+// DayKey renders day d as its group key.
+func DayKey(d int) string { return fmt.Sprintf("2012-%02d-%02d", 1+d/28, 1+d%28) }
+
+// GenerateExpense builds the simulated disbursement file.
+func GenerateExpense(cfg ExpenseConfig) *ExpenseDataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	schema := relation.MustSchema(
+		relation.Column{Name: "date", Kind: relation.Discrete},
+		relation.Column{Name: "candidate", Kind: relation.Discrete},
+		relation.Column{Name: "disb_amt", Kind: relation.Continuous},
+		relation.Column{Name: "recipient_nm", Kind: relation.Discrete},
+		relation.Column{Name: "recipient_st", Kind: relation.Discrete},
+		relation.Column{Name: "recipient_city", Kind: relation.Discrete},
+		relation.Column{Name: "zip", Kind: relation.Discrete},
+		relation.Column{Name: "organization_tp", Kind: relation.Discrete},
+		relation.Column{Name: "disb_desc", Kind: relation.Discrete},
+		relation.Column{Name: "file_num", Kind: relation.Discrete},
+		relation.Column{Name: "election_tp", Kind: relation.Discrete},
+		relation.Column{Name: "category", Kind: relation.Discrete},
+		relation.Column{Name: "payee_tp", Kind: relation.Discrete},
+		relation.Column{Name: "memo", Kind: relation.Discrete},
+	)
+	b := relation.NewBuilder(schema)
+
+	states := []string{"DC", "IL", "NY", "CA", "VA", "MA", "OH", "FL", "TX", "WA"}
+	cities := make([]string, 100)
+	for i := range cities {
+		cities[i] = fmt.Sprintf("CITY_%02d", i)
+	}
+	zips := make([]string, 100)
+	for i := range zips {
+		zips[i] = fmt.Sprintf("%05d", 20001+i*37)
+	}
+	orgs := []string{"CORP", "LLC", "PAC", "IND", "GOV", "NONPROF"}
+	descs := []string{
+		"PAYROLL", "TRAVEL", "CATERING", "RENT", "CONSULTING", "PRINTING",
+		"POSTAGE", "PHONES", "SECURITY", "POLLING", "ONLINE ADS", "MEDIA BUY",
+	}
+	files := []string{"800216", "800316", "800416", "800516"}
+	elections := []string{"P2012", "G2012"}
+	categories := []string{"ADMIN", "MEDIA", "FUNDRAISING", "FIELD"}
+	payees := []string{"VENDOR", "STAFF", "COMMITTEE"}
+	recips := make([]string, cfg.Recipients)
+	for i := range recips {
+		recips[i] = fmt.Sprintf("VENDOR %04d LLC", i)
+	}
+
+	estRows := cfg.Days * (cfg.RowsPerDay + 8)
+	truth := relation.NewRowSet(estRows + cfg.Days*16)
+	ds := &ExpenseDataset{Config: cfg}
+
+	// Outlier days spread through the trace.
+	outlier := make(map[int]bool, cfg.OutlierDays)
+	for len(outlier) < cfg.OutlierDays && len(outlier) < cfg.Days {
+		outlier[rng.Intn(cfg.Days)] = true
+	}
+
+	row := 0
+	appendRow := func(day, recip, st, city, zip, org, desc, file string, amt float64) {
+		b.MustAppend(relation.Row{
+			relation.S(day),
+			relation.S("Obama"),
+			relation.F(math.Round(amt*100) / 100),
+			relation.S(recip),
+			relation.S(st),
+			relation.S(city),
+			relation.S(zip),
+			relation.S(org),
+			relation.S(desc),
+			relation.S(file),
+			relation.S(elections[rng.Intn(len(elections))]),
+			relation.S(categories[rng.Intn(len(categories))]),
+			relation.S(payees[rng.Intn(len(payees))]),
+			relation.S("N"),
+		})
+		if amt > 1_500_000 {
+			truth.Add(row)
+		}
+		row++
+	}
+
+	for d := 0; d < cfg.Days; d++ {
+		day := DayKey(d)
+		if outlier[d] {
+			ds.OutlierDays = append(ds.OutlierDays, day)
+		} else {
+			ds.HoldOutDays = append(ds.HoldOutDays, day)
+		}
+		// Baseline operational spending: many small disbursements.
+		n := cfg.RowsPerDay + rng.Intn(cfg.RowsPerDay/4+1)
+		for i := 0; i < n; i++ {
+			amt := math.Exp(rng.NormFloat64()*1.1 + 3.5) // lognormal, median ≈ $33
+			appendRow(day,
+				recips[rng.Intn(len(recips))],
+				states[rng.Intn(len(states))],
+				cities[rng.Intn(len(cities))],
+				zips[rng.Intn(len(zips))],
+				orgs[rng.Intn(len(orgs))],
+				descs[rng.Intn(len(descs)-1)], // never MEDIA BUY in baseline
+				files[0],
+				amt)
+		}
+		if outlier[d] {
+			// The scripted anomaly: multi-million media buys paid to
+			// GMMB INC. in DC under filing 800316 (§8.4 EXPENSE findings).
+			buys := 4 + rng.Intn(3)
+			for i := 0; i < buys; i++ {
+				amt := 1_800_000 + rng.Float64()*1_800_000
+				appendRow(day, "GMMB INC.", "DC", "WASHINGTON", "20001",
+					"CORP", "MEDIA BUY", "800316", amt)
+			}
+			// Plus a few sub-threshold media purchases that muddy recall.
+			for i := 0; i < 2; i++ {
+				appendRow(day, "GMMB INC.", "DC", "WASHINGTON", "20001",
+					"CORP", "MEDIA BUY", "800216", 400_000+rng.Float64()*500_000)
+			}
+		}
+	}
+	ds.Table = b.Build()
+	// Shrink the truth set's universe to the actual row count.
+	actual := relation.NewRowSet(ds.Table.NumRows())
+	truth.ForEach(func(r int) {
+		if r < ds.Table.NumRows() {
+			actual.Add(r)
+		}
+	})
+	ds.TruthRows = actual
+	return ds
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/datasets"
+	"github.com/scorpiondb/scorpion/internal/eval"
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/merge"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	"github.com/scorpiondb/scorpion/internal/partition/dt"
+	"github.com/scorpiondb/scorpion/internal/partition/mc"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/query"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// RealWorldRow is one (workload, c) result on a simulated real dataset.
+type RealWorldRow struct {
+	Workload  string
+	C         float64
+	Predicate string
+	Acc       eval.Accuracy
+	Elapsed   time.Duration
+}
+
+// IntelScale controls the INTEL simulator size.
+type IntelScale struct {
+	Hours, Sensors, EpochsPerHour int
+	Seed                          int64
+}
+
+// QuickIntel is a CI-sized deployment.
+func QuickIntel() IntelScale { return IntelScale{Hours: 33, Sensors: 20, EpochsPerHour: 2, Seed: 7} }
+
+// PaperIntel approaches the deployment's 61 motes over two weeks.
+func PaperIntel() IntelScale { return IntelScale{Hours: 336, Sensors: 61, EpochsPerHour: 6, Seed: 7} }
+
+// IntelWorkload runs §8.4's INTEL workload (1 = dying sensor, 2 = battery
+// decay) across a c sweep with the DT partitioner, as the paper does for
+// STDDEV.
+func IntelWorkload(n int, scale IntelScale, w io.Writer) ([]RealWorldRow, error) {
+	ds := datasets.GenerateIntel(datasets.IntelConfig{
+		Hours:         scale.Hours,
+		Sensors:       scale.Sensors,
+		EpochsPerHour: scale.EpochsPerHour,
+		Workload:      datasets.IntelWorkload(n),
+		Seed:          scale.Seed,
+	})
+	q, err := query.FromSQL(ds.Table, "SELECT stddev(temp), hour FROM readings GROUP BY hour")
+	if err != nil {
+		return nil, err
+	}
+	qres, err := q.Run()
+	if err != nil {
+		return nil, err
+	}
+	space, err := predicate.NewSpace(ds.Table,
+		[]string{"sensorid", "voltage", "humidity", "light"}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []RealWorldRow
+	for _, c := range []float64{1, 0.5, 0.2, 0.1, 0} {
+		task := &influence.Task{
+			Table:  ds.Table,
+			Agg:    q.Agg,
+			AggCol: q.AggCol,
+			Lambda: 0.5,
+			C:      c,
+		}
+		for _, h := range ds.OutlierHours {
+			row, ok := qres.Lookup(h)
+			if !ok {
+				return nil, fmt.Errorf("eval: missing hour %s", h)
+			}
+			task.Outliers = append(task.Outliers,
+				influence.Group{Key: h, Rows: row.Group, Direction: influence.TooHigh})
+		}
+		for _, h := range ds.HoldOutHours {
+			row, ok := qres.Lookup(h)
+			if !ok {
+				return nil, fmt.Errorf("eval: missing hour %s", h)
+			}
+			task.HoldOuts = append(task.HoldOuts, influence.Group{Key: h, Rows: row.Group})
+		}
+		scorer, err := influence.NewScorer(task)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := dt.Run(scorer, space, dt.Params{})
+		if err != nil {
+			return nil, err
+		}
+		merger := merge.New(scorer, space, merge.Params{
+			TopQuartileOnly:  true,
+			UseApproximation: true,
+		})
+		best, ok := partition.Top(merger.Merge(res.Candidates))
+		if !ok {
+			return nil, fmt.Errorf("eval: intel workload %d produced no candidates", n)
+		}
+		elapsed := time.Since(start)
+		gO := eval.OutlierUnion(task)
+		rows = append(rows, RealWorldRow{
+			Workload:  fmt.Sprintf("INTEL#%d", n),
+			C:         c,
+			Predicate: best.Pred.Format(ds.Table),
+			Acc:       eval.Score(best.Pred, ds.Table, gO, ds.TruthRows),
+			Elapsed:   elapsed,
+		})
+	}
+	Section(w, "§8.4 INTEL workload %d (sensor %s, %d outlier hours, %d hold-outs)",
+		n, ds.FailingSensor, len(ds.OutlierHours), len(ds.HoldOutHours))
+	writeRealWorld(w, rows)
+	return rows, nil
+}
+
+// ExpenseScale controls the EXPENSE simulator size.
+type ExpenseScale struct {
+	Days, RowsPerDay, Recipients int
+	Seed                         int64
+}
+
+// QuickExpense is a CI-sized ledger.
+func QuickExpense() ExpenseScale {
+	return ExpenseScale{Days: 34, RowsPerDay: 80, Recipients: 150, Seed: 5}
+}
+
+// PaperExpense approaches the FEC file's 116k rows.
+func PaperExpense() ExpenseScale {
+	return ExpenseScale{Days: 540, RowsPerDay: 215, Recipients: 2000, Seed: 5}
+}
+
+// ExpenseWorkload runs §8.4's EXPENSE workload (SUM of Obama's daily
+// disbursements, MC algorithm) across a c sweep.
+func ExpenseWorkload(scale ExpenseScale, w io.Writer) ([]RealWorldRow, error) {
+	ds := datasets.GenerateExpense(datasets.ExpenseConfig{
+		Days:       scale.Days,
+		RowsPerDay: scale.RowsPerDay,
+		Recipients: scale.Recipients,
+		Seed:       scale.Seed,
+	})
+	q, err := query.FromSQL(ds.Table,
+		"SELECT sum(disb_amt), date FROM expenses WHERE candidate = 'Obama' GROUP BY date")
+	if err != nil {
+		return nil, err
+	}
+	qres, err := q.Run()
+	if err != nil {
+		return nil, err
+	}
+	attrs := []string{"recipient_nm", "recipient_st", "recipient_city", "zip",
+		"organization_tp", "disb_desc", "file_num", "election_tp", "category",
+		"payee_tp", "memo"}
+	space, err := predicate.NewSpace(ds.Table, attrs, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []RealWorldRow
+	for _, c := range []float64{1, 0.5, 0.2, 0.1, 0.05} {
+		task := &influence.Task{
+			Table:  ds.Table,
+			Agg:    q.Agg,
+			AggCol: q.AggCol,
+			Lambda: 0.5,
+			C:      c,
+		}
+		for _, d := range ds.OutlierDays {
+			row, ok := qres.Lookup(d)
+			if !ok {
+				return nil, fmt.Errorf("eval: missing day %s", d)
+			}
+			task.Outliers = append(task.Outliers,
+				influence.Group{Key: d, Rows: row.Group, Direction: influence.TooHigh})
+		}
+		for _, d := range ds.HoldOutDays {
+			row, ok := qres.Lookup(d)
+			if !ok {
+				return nil, fmt.Errorf("eval: missing day %s", d)
+			}
+			task.HoldOuts = append(task.HoldOuts, influence.Group{Key: d, Rows: row.Group})
+		}
+		scorer, err := influence.NewScorer(task)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := mc.Run(scorer, space, mc.Params{MaxDiscreteValues: 60})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		gO := eval.OutlierUnion(task)
+		rows = append(rows, RealWorldRow{
+			Workload:  "EXPENSE",
+			C:         c,
+			Predicate: res.Best.Pred.Format(ds.Table),
+			Acc:       eval.Score(res.Best.Pred, ds.Table, gO, ds.TruthRows),
+			Elapsed:   elapsed,
+		})
+	}
+	Section(w, "§8.4 EXPENSE workload (%d outlier days, %d hold-outs)",
+		len(ds.OutlierDays), len(ds.HoldOutDays))
+	writeRealWorld(w, rows)
+	return rows, nil
+}
+
+func writeRealWorld(w io.Writer, rows []RealWorldRow) {
+	tbl := NewTextTable("workload", "c", "F1", "precision", "recall", "seconds", "predicate")
+	for _, r := range rows {
+		tbl.AddRow(r.Workload, r.C, r.Acc.F1, r.Acc.Precision, r.Acc.Recall,
+			r.Elapsed.Seconds(), r.Predicate)
+	}
+	tbl.Render(w)
+}
+
+// RunningExample reproduces Tables 1 and 2: it executes Q1 over the
+// paper's nine sensor readings, prints both tables, and explains the 12PM
+// and 1PM outliers.
+func RunningExample(w io.Writer) (string, error) {
+	tbl := runningExampleTable()
+	q, err := query.FromSQL(tbl, "SELECT avg(temp), time FROM sensors GROUP BY time")
+	if err != nil {
+		return "", err
+	}
+	qres, err := q.Run()
+	if err != nil {
+		return "", err
+	}
+
+	Section(w, "Table 1: sensors")
+	t1 := NewTextTable("tuple", "time", "sensorid", "voltage", "humidity", "temp")
+	for r := 0; r < tbl.NumRows(); r++ {
+		row := tbl.Row(r)
+		t1.AddRow(fmt.Sprintf("T%d", r+1), row[0].Str(), row[1].Str(),
+			row[2].Float(), row[3].Float(), row[4].Float())
+	}
+	t1.Render(w)
+
+	Section(w, "Table 2: Q1 results and annotations")
+	t2 := NewTextTable("result", "time", "avg(temp)", "label", "v")
+	for i, row := range qres.Rows {
+		label, v := "Hold-out", "-"
+		if row.Key == "12PM" || row.Key == "1PM" {
+			label, v = "Outlier", "<+1>"
+		}
+		t2.AddRow(fmt.Sprintf("α%d", i+1), row.Key, row.Value, label, v)
+	}
+	t2.Render(w)
+
+	task := &influence.Task{
+		Table:  tbl,
+		Agg:    q.Agg,
+		AggCol: q.AggCol,
+		Lambda: 0.5,
+		C:      1,
+	}
+	for _, key := range []string{"12PM", "1PM"} {
+		row, _ := qres.Lookup(key)
+		task.Outliers = append(task.Outliers,
+			influence.Group{Key: key, Rows: row.Group, Direction: influence.TooHigh})
+	}
+	hold, _ := qres.Lookup("11AM")
+	task.HoldOuts = []influence.Group{{Key: "11AM", Rows: hold.Group}}
+	scorer, err := influence.NewScorer(task)
+	if err != nil {
+		return "", err
+	}
+	space, err := predicate.NewSpace(tbl, []string{"sensorid", "voltage", "humidity"}, nil)
+	if err != nil {
+		return "", err
+	}
+	res, err := dt.Run(scorer, space, dt.Params{DisableSampling: true})
+	if err != nil {
+		return "", err
+	}
+	merger := merge.New(scorer, space, merge.Params{})
+	best, ok := partition.Top(merger.Merge(res.Candidates))
+	if !ok {
+		return "", fmt.Errorf("eval: running example produced no explanation")
+	}
+	explanation := best.Pred.Format(tbl)
+	if w != nil {
+		fmt.Fprintf(w, "\nExplanation for {12PM, 1PM} too-high: %s (influence %.3f)\n",
+			explanation, scorer.Influence(best.Pred))
+	}
+	return explanation, nil
+}
+
+func runningExampleTable() *relation.Table {
+	schema := relation.MustSchema(
+		relation.Column{Name: "time", Kind: relation.Discrete},
+		relation.Column{Name: "sensorid", Kind: relation.Discrete},
+		relation.Column{Name: "voltage", Kind: relation.Continuous},
+		relation.Column{Name: "humidity", Kind: relation.Continuous},
+		relation.Column{Name: "temp", Kind: relation.Continuous},
+	)
+	b := relation.NewBuilder(schema)
+	rows := []relation.Row{
+		{relation.S("11AM"), relation.S("1"), relation.F(2.64), relation.F(0.4), relation.F(34)},
+		{relation.S("11AM"), relation.S("2"), relation.F(2.65), relation.F(0.5), relation.F(35)},
+		{relation.S("11AM"), relation.S("3"), relation.F(2.63), relation.F(0.4), relation.F(35)},
+		{relation.S("12PM"), relation.S("1"), relation.F(2.7), relation.F(0.3), relation.F(35)},
+		{relation.S("12PM"), relation.S("2"), relation.F(2.7), relation.F(0.5), relation.F(35)},
+		{relation.S("12PM"), relation.S("3"), relation.F(2.3), relation.F(0.4), relation.F(100)},
+		{relation.S("1PM"), relation.S("1"), relation.F(2.7), relation.F(0.3), relation.F(35)},
+		{relation.S("1PM"), relation.S("2"), relation.F(2.7), relation.F(0.5), relation.F(35)},
+		{relation.S("1PM"), relation.S("3"), relation.F(2.3), relation.F(0.5), relation.F(80)},
+	}
+	for _, r := range rows {
+		b.MustAppend(r)
+	}
+	return b.Build()
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/eval"
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/merge"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	"github.com/scorpiondb/scorpion/internal/partition/dt"
+	"github.com/scorpiondb/scorpion/internal/partition/mc"
+	"github.com/scorpiondb/scorpion/internal/partition/naive"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/synth"
+)
+
+// Scale controls experiment sizes so the same harness serves quick CI runs
+// (default) and paper-scale runs (-full in cmd/scorpion-bench).
+type Scale struct {
+	// TuplesPerGroup is the SYNTH group size (paper: 2000).
+	TuplesPerGroup int
+	// Groups and OutlierGroups shape SYNTH (paper: 10 and 5).
+	Groups, OutlierGroups int
+	// Bins for NAIVE/MC unit granularity (paper: 15).
+	Bins int
+	// NaiveDeadline bounds each NAIVE run (paper: 40 min).
+	NaiveDeadline time.Duration
+	// Algorithms optionally restricts the grid experiments (Figures 12-14)
+	// to a subset of {"naive", "dt", "mc"}; nil means all three.
+	Algorithms []string
+	// Seed drives all generators.
+	Seed int64
+}
+
+// algorithms returns the configured algorithm list or the default trio.
+func (s Scale) algorithms() []string {
+	if len(s.Algorithms) > 0 {
+		return s.Algorithms
+	}
+	return []string{"naive", "dt", "mc"}
+}
+
+// QuickScale finishes the full suite in tens of seconds on a laptop.
+func QuickScale() Scale {
+	return Scale{
+		TuplesPerGroup: 250,
+		Groups:         6,
+		OutlierGroups:  3,
+		Bins:           10,
+		NaiveDeadline:  2 * time.Second,
+		Seed:           1,
+	}
+}
+
+// PaperScale mirrors §8.1's parameters (NAIVE runs are still capped at two
+// minutes per configuration rather than the paper's 40).
+func PaperScale() Scale {
+	return Scale{
+		TuplesPerGroup: 2000,
+		Groups:         10,
+		OutlierGroups:  5,
+		Bins:           15,
+		NaiveDeadline:  2 * time.Minute,
+		Seed:           1,
+	}
+}
+
+// synthDataset builds a SYNTH dataset at this scale.
+func (s Scale) synthDataset(dims int, mu float64) *synth.Dataset {
+	return synth.Generate(synth.Config{
+		Dims:           dims,
+		TuplesPerGroup: s.TuplesPerGroup,
+		Groups:         s.Groups,
+		OutlierGroups:  s.OutlierGroups,
+		Mu:             mu,
+		Seed:           s.Seed,
+	})
+}
+
+// mu converts a difficulty name ("Easy"/"Hard") to µ.
+func mu(difficulty string) float64 {
+	if difficulty == "Hard" {
+		return 30
+	}
+	return 80
+}
+
+// AlgoOutcome is one algorithm run's result on a SYNTH task.
+type AlgoOutcome struct {
+	Algorithm string
+	Best      predicate.Predicate
+	Score     float64
+	Elapsed   time.Duration
+	// InnerAcc and OuterAcc compare against the two ground-truth cubes.
+	InnerAcc, OuterAcc eval.Accuracy
+	// ScorerCalls counts influence evaluations.
+	ScorerCalls int64
+	// Trace carries NAIVE's best-so-far curve (nil for DT/MC).
+	Trace []naive.TracePoint
+}
+
+// RunAlgorithm executes one named algorithm ("naive", "dt", "mc") on a
+// SYNTH dataset with SUM (the paper's §8.1 query) at the given c.
+func (s Scale) RunAlgorithm(algo string, ds *synth.Dataset, c float64) (AlgoOutcome, error) {
+	task, space, err := eval.SynthTask(ds, "sum", 0.5, c)
+	if err != nil {
+		return AlgoOutcome{}, err
+	}
+	scorer, err := influence.NewScorer(task)
+	if err != nil {
+		return AlgoOutcome{}, err
+	}
+	out := AlgoOutcome{Algorithm: algo}
+	start := time.Now()
+	var best partition.Candidate
+	switch algo {
+	case "naive":
+		res, err := naive.Run(scorer, space, naive.Params{
+			Bins:     s.Bins,
+			Deadline: s.NaiveDeadline,
+		})
+		if err != nil {
+			return out, err
+		}
+		best = res.Best
+		out.Trace = res.Trace
+
+	case "dt":
+		res, err := dt.Run(scorer, space, dt.Params{})
+		if err != nil {
+			return out, err
+		}
+		merger := merge.New(scorer, space, merge.Params{
+			TopQuartileOnly:  true,
+			UseApproximation: scorer.Incremental(),
+		})
+		merged := merger.Merge(res.Candidates)
+		b, ok := partition.Top(merged)
+		if !ok {
+			return out, fmt.Errorf("eval: dt produced no candidates")
+		}
+		best = b
+
+	case "mc":
+		res, err := mc.Run(scorer, space, mc.Params{Bins: s.Bins})
+		if err != nil {
+			return out, err
+		}
+		best = res.Best
+
+	default:
+		return out, fmt.Errorf("eval: unknown algorithm %q", algo)
+	}
+	out.Elapsed = time.Since(start)
+	out.Best = best.Pred
+	out.Score = scorer.Influence(best.Pred)
+	out.ScorerCalls = scorer.Calls()
+	gO := eval.OutlierUnion(task)
+	out.InnerAcc = eval.Score(best.Pred, ds.Table, gO, ds.InnerRows)
+	out.OuterAcc = eval.Score(best.Pred, ds.Table, gO, ds.OuterRows)
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TextTable renders aligned monospace tables for experiment output.
+type TextTable struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTextTable starts a table with the given column headers.
+func NewTextTable(headers ...string) *TextTable {
+	return &TextTable{headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *TextTable) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", x)
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table. A nil writer is a no-op.
+func (t *TextTable) Render(w io.Writer) {
+	if w == nil {
+		return
+	}
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.headers)
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+// Section prints an underlined section heading. A nil writer is a no-op.
+func Section(w io.Writer, format string, args ...any) {
+	if w == nil {
+		return
+	}
+	s := fmt.Sprintf(format, args...)
+	fmt.Fprintf(w, "\n%s\n%s\n", s, strings.Repeat("=", len(s)))
+}

@@ -1,0 +1,138 @@
+// Package feature implements the dimensionality-reduction step Scorpion's
+// paper sketches in §6.4 and defers to future work: filter-based attribute
+// selection. Attributes are ranked by how informative they are about tuple
+// influence — continuous attributes by the absolute Pearson correlation
+// between attribute value and influence, discrete attributes by the
+// influence variance explained across their values (the correlation ratio
+// η²). Non-informative attributes can then be dropped before the predicate
+// search, shrinking NAIVE's exponential space and DT/MC's candidate grids.
+package feature
+
+import (
+	"math"
+	"sort"
+
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// AttrScore is one attribute's informativeness about tuple influence,
+// normalized to [0, 1].
+type AttrScore struct {
+	Col   int
+	Name  string
+	Score float64
+}
+
+// RankAttributes scores every attribute of the search space against the
+// per-tuple influences of the outlier groups and returns the attributes in
+// descending informativeness.
+func RankAttributes(scorer *influence.Scorer, space *predicate.Space) []AttrScore {
+	task := scorer.Task()
+	// Collect (row, influence) samples over all outlier groups.
+	var rows []int
+	var infs []float64
+	for gi, g := range task.Outliers {
+		g.Rows.ForEach(func(r int) {
+			rows = append(rows, r)
+			infs = append(infs, scorer.TupleOutlierInfluence(gi, r))
+		})
+	}
+	out := make([]AttrScore, 0, len(space.Columns()))
+	for _, col := range space.Columns() {
+		score := 0.0
+		if space.Kind(col) == relation.Continuous {
+			score = math.Abs(pearson(task.Table.Floats(col), rows, infs))
+		} else {
+			score = correlationRatio(task.Table.Codes(col), rows, infs)
+		}
+		if math.IsNaN(score) {
+			score = 0
+		}
+		out = append(out, AttrScore{Col: col, Name: space.Name(col), Score: score})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// Select returns the names of the top-k attributes (all of them when k <= 0
+// or k exceeds the count).
+func Select(scorer *influence.Scorer, space *predicate.Space, k int) []string {
+	ranked := RankAttributes(scorer, space)
+	if k <= 0 || k > len(ranked) {
+		k = len(ranked)
+	}
+	names := make([]string, k)
+	for i := 0; i < k; i++ {
+		names[i] = ranked[i].Name
+	}
+	return names
+}
+
+// pearson computes the Pearson correlation between vals[rows[i]] and y[i].
+func pearson(vals []float64, rows []int, y []float64) float64 {
+	n := float64(len(rows))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i, r := range rows {
+		x := vals[r]
+		sx += x
+		sy += y[i]
+		sxx += x * x
+		syy += y[i] * y[i]
+		sxy += x * y[i]
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// correlationRatio computes η²: the share of influence variance explained
+// by grouping on the attribute's codes.
+func correlationRatio(codes []int32, rows []int, y []float64) float64 {
+	n := float64(len(rows))
+	if n < 2 {
+		return 0
+	}
+	type agg struct {
+		n   float64
+		sum float64
+	}
+	groups := make(map[int32]*agg)
+	var total float64
+	for i, r := range rows {
+		g := groups[codes[r]]
+		if g == nil {
+			g = &agg{}
+			groups[codes[r]] = g
+		}
+		g.n++
+		g.sum += y[i]
+		total += y[i]
+	}
+	mean := total / n
+	var between, totalVar float64
+	for _, g := range groups {
+		gm := g.sum / g.n
+		between += g.n * (gm - mean) * (gm - mean)
+	}
+	for i := range rows {
+		d := y[i] - mean
+		totalVar += d * d
+	}
+	if totalVar <= 0 {
+		return 0
+	}
+	eta2 := between / totalVar
+	if eta2 > 1 {
+		eta2 = 1
+	}
+	return eta2
+}

@@ -1,0 +1,152 @@
+package feature
+
+import (
+	"math"
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/aggregate"
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// fixture builds a task where attribute "signal" (continuous) and "tag"
+// (discrete) determine the aggregate value, while "noise" and "junk" are
+// uninformative.
+func fixture(t testing.TB) (*influence.Scorer, *predicate.Space) {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "g", Kind: relation.Discrete},
+		relation.Column{Name: "signal", Kind: relation.Continuous},
+		relation.Column{Name: "noise", Kind: relation.Continuous},
+		relation.Column{Name: "tag", Kind: relation.Discrete},
+		relation.Column{Name: "junk", Kind: relation.Discrete},
+		relation.Column{Name: "v", Kind: relation.Continuous},
+	)
+	b := relation.NewBuilder(schema)
+	for i := 0; i < 200; i++ {
+		signal := float64(i % 50)
+		noise := float64((i * 37) % 100)
+		tag := []string{"low", "low", "high"}[i%3]
+		junk := []string{"a", "b", "c", "d"}[i%4]
+		v := 10 + signal // v tracks signal exactly
+		if tag == "high" {
+			v += 40
+		}
+		b.MustAppend(relation.Row{
+			relation.S("out"),
+			relation.F(signal),
+			relation.F(noise),
+			relation.S(tag),
+			relation.S(junk),
+			relation.F(v),
+		})
+	}
+	tbl := b.Build()
+	out := relation.FullRowSet(tbl.NumRows())
+	task := &influence.Task{
+		Table:    tbl,
+		Agg:      aggregate.Avg{},
+		AggCol:   tbl.Schema().MustIndex("v"),
+		Outliers: []influence.Group{{Key: "out", Rows: out, Direction: influence.TooHigh}},
+		Lambda:   0.5,
+		C:        1,
+	}
+	scorer, err := influence.NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := predicate.NewSpace(tbl, []string{"signal", "noise", "tag", "junk"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scorer, space
+}
+
+func TestRankAttributesOrdersByInformativeness(t *testing.T) {
+	scorer, space := fixture(t)
+	ranked := RankAttributes(scorer, space)
+	if len(ranked) != 4 {
+		t.Fatalf("ranked = %d attrs", len(ranked))
+	}
+	pos := map[string]int{}
+	score := map[string]float64{}
+	for i, a := range ranked {
+		pos[a.Name] = i
+		score[a.Name] = a.Score
+	}
+	if pos["signal"] > pos["noise"] {
+		t.Errorf("signal (%.3f) ranked below noise (%.3f)", score["signal"], score["noise"])
+	}
+	if pos["tag"] > pos["junk"] {
+		t.Errorf("tag (%.3f) ranked below junk (%.3f)", score["tag"], score["junk"])
+	}
+	if score["signal"] < 0.5 {
+		t.Errorf("signal score = %.3f, want strong", score["signal"])
+	}
+	if score["junk"] > 0.2 {
+		t.Errorf("junk score = %.3f, want weak", score["junk"])
+	}
+	for _, a := range ranked {
+		if a.Score < 0 || a.Score > 1 || math.IsNaN(a.Score) {
+			t.Errorf("%s score %v outside [0,1]", a.Name, a.Score)
+		}
+	}
+}
+
+func TestSelectTopK(t *testing.T) {
+	scorer, space := fixture(t)
+	top2 := Select(scorer, space, 2)
+	if len(top2) != 2 {
+		t.Fatalf("Select(2) = %v", top2)
+	}
+	want := map[string]bool{"signal": true, "tag": true}
+	for _, name := range top2 {
+		if !want[name] {
+			t.Errorf("Select(2) includes %q, want signal and tag; got %v", name, top2)
+		}
+	}
+	all := Select(scorer, space, 0)
+	if len(all) != 4 {
+		t.Errorf("Select(0) = %v, want all 4", all)
+	}
+	over := Select(scorer, space, 99)
+	if len(over) != 4 {
+		t.Errorf("Select(99) = %v, want all 4", over)
+	}
+}
+
+func TestPearsonEdgeCases(t *testing.T) {
+	if got := pearson([]float64{1, 1, 1}, []int{0, 1, 2}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("constant x correlation = %v, want 0", got)
+	}
+	if got := pearson([]float64{5}, []int{0}, []float64{1}); got != 0 {
+		t.Errorf("single point correlation = %v, want 0", got)
+	}
+	// Perfect correlation.
+	got := pearson([]float64{1, 2, 3, 4}, []int{0, 1, 2, 3}, []float64{2, 4, 6, 8})
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect correlation = %v, want 1", got)
+	}
+	// Perfect anti-correlation.
+	got = pearson([]float64{1, 2, 3, 4}, []int{0, 1, 2, 3}, []float64{8, 6, 4, 2})
+	if math.Abs(got+1) > 1e-9 {
+		t.Errorf("perfect anti-correlation = %v, want -1", got)
+	}
+}
+
+func TestCorrelationRatioEdgeCases(t *testing.T) {
+	// One group explains nothing beyond the mean.
+	if got := correlationRatio([]int32{0, 0, 0}, []int{0, 1, 2}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("single-group η² = %v, want 0", got)
+	}
+	// Groups fully determine y.
+	got := correlationRatio([]int32{0, 0, 1, 1}, []int{0, 1, 2, 3}, []float64{1, 1, 9, 9})
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("deterministic η² = %v, want 1", got)
+	}
+	// Constant y.
+	if got := correlationRatio([]int32{0, 1}, []int{0, 1}, []float64{5, 5}); got != 0 {
+		t.Errorf("constant-y η² = %v, want 0", got)
+	}
+}

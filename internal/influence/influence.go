@@ -1,0 +1,405 @@
+// Package influence implements Scorpion's notion of predicate influence
+// (§3.2 of the paper) and the Scorer component (§4.1).
+//
+// For a single outlier result o with error vector v_o and a predicate p:
+//
+//	Δagg(o, p)     = agg(g_o) − agg(g_o − p(g_o))
+//	inf(o, p, v_o) = (Δagg(o, p) / |p(g_o)|^c) · v_o
+//
+// and for outlier set O, hold-out set H with trade-off λ:
+//
+//	inf(O, H, p, V) = λ · (1/|O|) Σ_o inf(o, p, v_o)
+//	                − (1−λ) · max_h |inf(h, p)|
+//
+// The exponent c is the §7 knob trading result change against predicate
+// selectivity (c=1 recovers the basic §3.2 definition).
+//
+// The Scorer offers two execution paths. For incrementally removable
+// aggregates (§5.1) it caches state(g) per input group and computes updated
+// results by removing the state of the matched tuples — cost proportional to
+// |p(g)|. For black-box aggregates it recomputes agg(g − p(g)) — cost
+// proportional to |g|.
+package influence
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scorpiondb/scorpion/internal/aggregate"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// Direction encodes a one-dimensional error vector (§3.1): whether the user
+// judged an outlier result too high (+1) or too low (−1).
+type Direction float64
+
+const (
+	// TooHigh means the outlier's value should decrease.
+	TooHigh Direction = 1
+	// TooLow means the outlier's value should increase.
+	TooLow Direction = -1
+)
+
+// Group is one flagged query result: its provenance rows and, for outliers,
+// the user's error vector.
+type Group struct {
+	// Key identifies the result row (its group-by key).
+	Key string
+	// Rows is the input group g of the result.
+	Rows *relation.RowSet
+	// Direction is the error vector for outliers; ignored for hold-outs.
+	Direction Direction
+}
+
+// Task bundles everything the Scorer needs: the data, the aggregate, the
+// flagged result groups, and the user knobs.
+type Task struct {
+	Table *relation.Table
+	// Agg is the aggregate under explanation.
+	Agg aggregate.Func
+	// AggCol is the aggregate attribute column index, or -1 for count(*).
+	AggCol int
+	// Outliers and HoldOuts carry the flagged result groups.
+	Outliers []Group
+	HoldOuts []Group
+	// Lambda trades outlier influence against hold-out stability (§3.2).
+	Lambda float64
+	// C is the §7 selectivity knob; 1 recovers the basic definition.
+	C float64
+	// Perturb switches Δ from tuple deletion to value perturbation — the
+	// alternative formulation the paper's §3.2 footnote mentions but does
+	// not explore. When non-nil, Δagg(o, p) = agg(g) − agg(g with every
+	// matched tuple's aggregate value replaced by *Perturb), answering
+	// "how would the result change had these readings been <value>?". The
+	// matched-tuple count still feeds the c denominator.
+	Perturb *float64
+}
+
+// Validate checks the task's invariants.
+func (t *Task) Validate() error {
+	if t.Table == nil {
+		return fmt.Errorf("influence: task has no table")
+	}
+	if t.Agg == nil {
+		return fmt.Errorf("influence: task has no aggregate")
+	}
+	if len(t.Outliers) == 0 {
+		return fmt.Errorf("influence: task has no outlier results")
+	}
+	if t.Lambda < 0 || t.Lambda > 1 {
+		return fmt.Errorf("influence: lambda %v outside [0,1]", t.Lambda)
+	}
+	if t.C < 0 {
+		return fmt.Errorf("influence: c %v must be non-negative", t.C)
+	}
+	if t.AggCol >= 0 && t.Table.Schema().Column(t.AggCol).Kind != relation.Continuous {
+		return fmt.Errorf("influence: aggregate column must be continuous")
+	}
+	for _, g := range t.Outliers {
+		if g.Direction != TooHigh && g.Direction != TooLow {
+			return fmt.Errorf("influence: outlier %q needs an error vector of ±1", g.Key)
+		}
+	}
+	return nil
+}
+
+// value returns the aggregate attribute of row r (0 for count(*)).
+func (t *Task) value(r int) float64 {
+	if t.AggCol < 0 {
+		return 0
+	}
+	return t.Table.Floats(t.AggCol)[r]
+}
+
+// groupValues projects the aggregate attribute over a group.
+func (t *Task) groupValues(g Group) []float64 {
+	out := make([]float64, 0, g.Rows.Count())
+	g.Rows.ForEach(func(r int) { out = append(out, t.value(r)) })
+	return out
+}
+
+// Scorer evaluates predicate influence. It caches per-group aggregate state
+// (for incrementally removable aggregates) and memoizes predicate scores.
+// It is not safe for concurrent use.
+type Scorer struct {
+	task *Task
+	rem  aggregate.Removable // nil → black-box path
+
+	outOrig   []float64 // original aggregate value per outlier group
+	holdOrig  []float64
+	outState  []aggregate.State // cached state(g), incremental path only
+	holdState []aggregate.State
+
+	calls int64 // number of (group × predicate) delta evaluations
+	cache map[string]float64
+}
+
+// NewScorer builds a scorer, validating the task and choosing the
+// incremental path when the aggregate supports it.
+func NewScorer(task *Task) (*Scorer, error) {
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Scorer{task: task, cache: make(map[string]float64)}
+	if rem, ok := task.Agg.(aggregate.Removable); ok {
+		s.rem = rem
+	}
+	init := func(groups []Group) ([]float64, []aggregate.State) {
+		orig := make([]float64, len(groups))
+		states := make([]aggregate.State, len(groups))
+		for i, g := range groups {
+			vals := task.groupValues(g)
+			if s.rem != nil {
+				states[i] = s.rem.State(vals)
+				orig[i] = s.rem.Recover(states[i])
+			} else {
+				orig[i] = task.Agg.Compute(vals)
+			}
+		}
+		return orig, states
+	}
+	s.outOrig, s.outState = init(task.Outliers)
+	s.holdOrig, s.holdState = init(task.HoldOuts)
+	return s, nil
+}
+
+// Task returns the scorer's task.
+func (s *Scorer) Task() *Task { return s.task }
+
+// Incremental reports whether the scorer runs the §5.1 incremental path.
+func (s *Scorer) Incremental() bool { return s.rem != nil }
+
+// Calls reports how many (group × predicate) Δ evaluations have run —
+// the Scorer cost metric used by the Merger optimization experiments.
+func (s *Scorer) Calls() int64 { return s.calls }
+
+// OutlierResult returns the cached original aggregate value of outlier i.
+func (s *Scorer) OutlierResult(i int) float64 { return s.outOrig[i] }
+
+// HoldOutResult returns the cached original aggregate value of hold-out i.
+func (s *Scorer) HoldOutResult(i int) float64 { return s.holdOrig[i] }
+
+// delta computes Δagg(group, p) and the number of matched tuples.
+func (s *Scorer) delta(g Group, orig float64, state aggregate.State, p predicate.Predicate) (float64, int) {
+	s.calls++
+	t := s.task
+	matched := 0
+	total := 0
+	var matchedVals, restVals []float64
+	if s.rem == nil {
+		restVals = make([]float64, 0, g.Rows.Count())
+	}
+	g.Rows.ForEach(func(r int) {
+		total++
+		if p.Match(t.Table, r) {
+			matched++
+			if s.rem != nil {
+				matchedVals = append(matchedVals, t.value(r))
+			}
+		} else if s.rem == nil {
+			restVals = append(restVals, t.value(r))
+		}
+	})
+	if matched == 0 {
+		return 0, 0
+	}
+	if t.Perturb != nil {
+		return s.perturbDelta(orig, state, matchedVals, restVals, matched), matched
+	}
+	if matched == total {
+		// The predicate deletes the whole input group: the output would
+		// disappear rather than move. For aggregates with a defined empty
+		// value (SUM, COUNT → 0) use it; otherwise treat as non-influential.
+		if es, ok := t.Agg.(aggregate.EmptySafe); ok {
+			return orig - es.EmptyValue(), matched
+		}
+		return 0, matched
+	}
+	var updated float64
+	if s.rem != nil {
+		updated = s.rem.Recover(s.rem.Remove(state, s.rem.State(matchedVals)))
+	} else {
+		updated = t.Agg.Compute(restVals)
+	}
+	d := orig - updated
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		return 0, matched
+	}
+	return d, matched
+}
+
+// perturbDelta computes the footnote-3 variant: matched values are replaced
+// by the target value rather than deleted.
+func (s *Scorer) perturbDelta(orig float64, state aggregate.State, matchedVals, restVals []float64, matched int) float64 {
+	target := *s.task.Perturb
+	replacement := make([]float64, matched)
+	for i := range replacement {
+		replacement[i] = target
+	}
+	var updated float64
+	if s.rem != nil {
+		st := s.rem.Remove(state, s.rem.State(matchedVals))
+		st = s.rem.Update(st, s.rem.State(replacement))
+		updated = s.rem.Recover(st)
+	} else {
+		updated = s.task.Agg.Compute(append(restVals, replacement...))
+	}
+	d := orig - updated
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		return 0
+	}
+	return d
+}
+
+// scale applies the c-knob denominator: Δ / n^c with n = |p(g)| ≥ 1.
+func (s *Scorer) scale(delta float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	if s.task.C == 0 {
+		return delta
+	}
+	return delta / math.Pow(float64(n), s.task.C)
+}
+
+// OutlierInfluence computes inf(o_i, p, v_i) for outlier index i.
+func (s *Scorer) OutlierInfluence(i int, p predicate.Predicate) float64 {
+	g := s.task.Outliers[i]
+	var st aggregate.State
+	if s.rem != nil {
+		st = s.outState[i]
+	}
+	d, n := s.delta(g, s.outOrig[i], st, p)
+	return s.scale(d, n) * float64(g.Direction)
+}
+
+// HoldOutInfluence computes inf(h_i, p) (no error vector) for hold-out i.
+func (s *Scorer) HoldOutInfluence(i int, p predicate.Predicate) float64 {
+	g := s.task.HoldOuts[i]
+	var st aggregate.State
+	if s.rem != nil {
+		st = s.holdState[i]
+	}
+	d, n := s.delta(g, s.holdOrig[i], st, p)
+	return s.scale(d, n)
+}
+
+// InfluenceOutliersOnly computes inf(O, ∅, p, V) — the hold-out-free
+// influence used by MC's conservative pruning (§6.2) — without the λ weight.
+func (s *Scorer) InfluenceOutliersOnly(p predicate.Predicate) float64 {
+	sum := 0.0
+	for i := range s.task.Outliers {
+		sum += s.OutlierInfluence(i, p)
+	}
+	return sum / float64(len(s.task.Outliers))
+}
+
+// Influence computes the full objective inf(O, H, p, V). Scores are memoized
+// by the predicate's canonical key.
+func (s *Scorer) Influence(p predicate.Predicate) float64 {
+	key := p.Key()
+	if v, ok := s.cache[key]; ok {
+		return v
+	}
+	v := s.influenceUncached(p)
+	s.cache[key] = v
+	return v
+}
+
+func (s *Scorer) influenceUncached(p predicate.Predicate) float64 {
+	outPart, worstHold := s.Parts(p)
+	return s.task.Lambda*outPart - (1-s.task.Lambda)*worstHold
+}
+
+// Parts returns the two components of the objective: the mean outlier
+// influence and the hold-out penalty max_h |inf(h, p)| (0 without
+// hold-outs), before the λ weighting.
+func (s *Scorer) Parts(p predicate.Predicate) (outMean, holdPenalty float64) {
+	outMean = s.InfluenceOutliersOnly(p)
+	for i := range s.task.HoldOuts {
+		if h := math.Abs(s.HoldOutInfluence(i, p)); h > holdPenalty {
+			holdPenalty = h
+		}
+	}
+	return outMean, holdPenalty
+}
+
+// TupleOutlierInfluence computes the influence of the single tuple at row r
+// within outlier group i: Δagg(o, {t}) · v_o. Used by the DT partitioner to
+// label tuples. Cost is O(1) on the incremental path.
+func (s *Scorer) TupleOutlierInfluence(i, r int) float64 {
+	return s.tupleInfluence(s.task.Outliers[i], s.outOrig[i], s.outStateAt(i), r) *
+		float64(s.task.Outliers[i].Direction)
+}
+
+// TupleHoldOutInfluence computes Δagg(h, {t}) for row r of hold-out group i.
+func (s *Scorer) TupleHoldOutInfluence(i, r int) float64 {
+	return s.tupleInfluence(s.task.HoldOuts[i], s.holdOrig[i], s.holdStateAt(i), r)
+}
+
+func (s *Scorer) outStateAt(i int) aggregate.State {
+	if s.rem == nil {
+		return nil
+	}
+	return s.outState[i]
+}
+
+func (s *Scorer) holdStateAt(i int) aggregate.State {
+	if s.rem == nil {
+		return nil
+	}
+	return s.holdState[i]
+}
+
+func (s *Scorer) tupleInfluence(g Group, orig float64, state aggregate.State, r int) float64 {
+	t := s.task
+	if s.rem != nil {
+		st := s.rem.Remove(state, s.rem.State([]float64{t.value(r)}))
+		if t.Perturb != nil {
+			st = s.rem.Update(st, s.rem.State([]float64{*t.Perturb}))
+		}
+		d := orig - s.rem.Recover(st)
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return 0
+		}
+		return d
+	}
+	// Black-box: rebuild the group without row r (or with r's value
+	// replaced, in perturbation mode).
+	rest := make([]float64, 0, g.Rows.Count())
+	g.Rows.ForEach(func(rr int) {
+		if rr != r {
+			rest = append(rest, t.value(rr))
+		}
+	})
+	if t.Perturb != nil {
+		rest = append(rest, *t.Perturb)
+	}
+	d := orig - t.Agg.Compute(rest)
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		return 0
+	}
+	return d
+}
+
+// MaxTupleInfluence returns the maximum single-tuple influence of any tuple
+// matched by p across the outlier groups — the upper bound used by MC's
+// second pruning rule (§6.2).
+func (s *Scorer) MaxTupleInfluence(p predicate.Predicate) float64 {
+	best := math.Inf(-1)
+	for i, g := range s.task.Outliers {
+		g.Rows.ForEach(func(r int) {
+			if p.Match(s.task.Table, r) {
+				if v := s.TupleOutlierInfluence(i, r); v > best {
+					best = v
+				}
+			}
+		})
+	}
+	return best
+}
+
+// ResetCache clears the memoized predicate scores (used when the task's C
+// changes between runs while keeping cached group states).
+func (s *Scorer) ResetCache() { s.cache = make(map[string]float64) }

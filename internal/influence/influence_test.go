@@ -1,0 +1,570 @@
+package influence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/scorpiondb/scorpion/internal/aggregate"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/query"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// sensorsTable builds the paper's Table 1.
+func sensorsTable(t testing.TB) *relation.Table {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "time", Kind: relation.Discrete},
+		relation.Column{Name: "sensorid", Kind: relation.Discrete},
+		relation.Column{Name: "voltage", Kind: relation.Continuous},
+		relation.Column{Name: "humidity", Kind: relation.Continuous},
+		relation.Column{Name: "temp", Kind: relation.Continuous},
+	)
+	b := relation.NewBuilder(schema)
+	rows := []relation.Row{
+		{relation.S("11AM"), relation.S("1"), relation.F(2.64), relation.F(0.4), relation.F(34)},
+		{relation.S("11AM"), relation.S("2"), relation.F(2.65), relation.F(0.5), relation.F(35)},
+		{relation.S("11AM"), relation.S("3"), relation.F(2.63), relation.F(0.4), relation.F(35)},
+		{relation.S("12PM"), relation.S("1"), relation.F(2.7), relation.F(0.3), relation.F(35)},
+		{relation.S("12PM"), relation.S("2"), relation.F(2.7), relation.F(0.5), relation.F(35)},
+		{relation.S("12PM"), relation.S("3"), relation.F(2.3), relation.F(0.4), relation.F(100)},
+		{relation.S("1PM"), relation.S("1"), relation.F(2.7), relation.F(0.3), relation.F(35)},
+		{relation.S("1PM"), relation.S("2"), relation.F(2.7), relation.F(0.5), relation.F(35)},
+		{relation.S("1PM"), relation.S("3"), relation.F(2.3), relation.F(0.5), relation.F(80)},
+	}
+	for _, r := range rows {
+		b.MustAppend(r)
+	}
+	return b.Build()
+}
+
+// paperTask builds the running example: O = {12PM, 1PM} (too high),
+// H = {11AM}, AVG(temp), λ=0.5, c=1.
+func paperTask(t testing.TB) *Task {
+	t.Helper()
+	tbl := sensorsTable(t)
+	q, err := query.FromSQL(tbl, "SELECT avg(temp), time FROM sensors GROUP BY time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(key string) query.ResultRow {
+		row, ok := res.Lookup(key)
+		if !ok {
+			t.Fatalf("missing group %q", key)
+		}
+		return row
+	}
+	return &Task{
+		Table:  tbl,
+		Agg:    aggregate.Avg{},
+		AggCol: tbl.Schema().MustIndex("temp"),
+		Outliers: []Group{
+			{Key: "12PM", Rows: get("12PM").Group, Direction: TooHigh},
+			{Key: "1PM", Rows: get("1PM").Group, Direction: TooHigh},
+		},
+		HoldOuts: []Group{
+			{Key: "11AM", Rows: get("11AM").Group},
+		},
+		Lambda: 0.5,
+		C:      1,
+	}
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTupleInfluencesMatchPaper(t *testing.T) {
+	task := paperTask(t)
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Incremental() {
+		t.Fatal("AVG should take the incremental path")
+	}
+	// §3.2: inf(α2, {T6}) = 21.6̄, inf(α2, {T4}) = −10.8̄ (v = <+1>).
+	if got := s.TupleOutlierInfluence(0, 5); !almostEqual(got, 170.0/3-35) {
+		t.Errorf("inf(T6) = %v, want %v", got, 170.0/3-35)
+	}
+	if got := s.TupleOutlierInfluence(0, 3); !almostEqual(got, 170.0/3-67.5) {
+		t.Errorf("inf(T4) = %v, want %v", got, 170.0/3-67.5)
+	}
+}
+
+func TestErrorVectorFlipsSign(t *testing.T) {
+	task := paperTask(t)
+	task.Outliers[0].Direction = TooLow
+	task.Outliers[1].Direction = TooLow
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.2: with v = <−1>, T6's influence becomes −21.6̄ and T4's +10.8̄.
+	if got := s.TupleOutlierInfluence(0, 5); !almostEqual(got, -(170.0/3 - 35)) {
+		t.Errorf("inf(T6) = %v", got)
+	}
+	if got := s.TupleOutlierInfluence(0, 3); !almostEqual(got, 67.5-170.0/3) {
+		t.Errorf("inf(T4) = %v", got)
+	}
+}
+
+// voltagePredicate builds "voltage < 2.4", the ground-truth explanation.
+func voltagePredicate(tbl *relation.Table) predicate.Predicate {
+	col := tbl.Schema().MustIndex("voltage")
+	return predicate.MustNew(predicate.NewRangeClause(col, "voltage", 0, 2.4, false))
+}
+
+func TestInfluenceOfVoltagePredicate(t *testing.T) {
+	task := paperTask(t)
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := voltagePredicate(task.Table)
+	// α2: removes T6 → Δ = 56.6̄−35 = 21.6̄, |p(g)| = 1.
+	if got := s.OutlierInfluence(0, p); !almostEqual(got, 170.0/3-35) {
+		t.Errorf("outlier 12PM influence = %v", got)
+	}
+	// α3: removes T9 → Δ = 50−35 = 15.
+	if got := s.OutlierInfluence(1, p); !almostEqual(got, 15) {
+		t.Errorf("outlier 1PM influence = %v", got)
+	}
+	// Hold-out 11AM: nothing matched → 0.
+	if got := s.HoldOutInfluence(0, p); got != 0 {
+		t.Errorf("hold-out influence = %v", got)
+	}
+	// Full objective: 0.5 · mean(21.6̄, 15) − 0.5 · 0.
+	want := 0.5 * ((170.0/3 - 35) + 15) / 2
+	if got := s.Influence(p); !almostEqual(got, want) {
+		t.Errorf("Influence = %v, want %v", got, want)
+	}
+}
+
+func TestHoldOutPenalty(t *testing.T) {
+	task := paperTask(t)
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "sensorid = 3" removes a tuple from every group including the hold-out.
+	col := task.Table.Schema().MustIndex("sensorid")
+	code, ok := task.Table.Dict(col).Lookup("3")
+	if !ok {
+		t.Fatal("no sensorid 3")
+	}
+	p := predicate.MustNew(predicate.NewSetClause(col, "sensorid", []int32{code}))
+	// Hold-out 11AM: removing T3 (35) changes avg 34.6̄ → 34.5, Δ=0.16̄.
+	wantHold := 104.0/3 - 34.5
+	if got := s.HoldOutInfluence(0, p); !almostEqual(got, wantHold) {
+		t.Errorf("hold-out influence = %v, want %v", got, wantHold)
+	}
+	outMean := ((170.0/3 - 35) + 15) / 2
+	want := 0.5*outMean - 0.5*math.Abs(wantHold)
+	if got := s.Influence(p); !almostEqual(got, want) {
+		t.Errorf("Influence = %v, want %v", got, want)
+	}
+	// The hold-out-free score must exceed the penalized score.
+	if s.InfluenceOutliersOnly(p) <= s.Influence(p) {
+		t.Error("outliers-only influence should exceed penalized influence")
+	}
+}
+
+func TestLambdaExtremes(t *testing.T) {
+	task := paperTask(t)
+	col := task.Table.Schema().MustIndex("sensorid")
+	code, _ := task.Table.Dict(col).Lookup("3")
+	p := predicate.MustNew(predicate.NewSetClause(col, "sensorid", []int32{code}))
+
+	task.Lambda = 1 // ignore hold-outs entirely
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Influence(p), s.InfluenceOutliersOnly(p); !almostEqual(got, want) {
+		t.Errorf("λ=1: Influence = %v, want %v", got, want)
+	}
+
+	task.Lambda = 0 // only hold-out stability matters
+	s, err = NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Influence(p); got >= 0 {
+		t.Errorf("λ=0: Influence = %v, want negative (pure penalty)", got)
+	}
+}
+
+func TestCKnob(t *testing.T) {
+	task := paperTask(t)
+	// Predicate matching both high-temp tuples AND normal ones: temp >= 35
+	// matches T4,T5,T6 in the 12PM group (3 tuples).
+	col := task.Table.Schema().MustIndex("humidity")
+	p := predicate.MustNew(predicate.NewRangeClause(col, "humidity", 0.3, 0.55, true))
+	// p matches all tuples of every group (humidity always in range) →
+	// whole-group removal; AVG has no empty value → Δ = 0.
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Influence(p); got != 0 {
+		t.Errorf("whole-group predicate influence = %v, want 0", got)
+	}
+
+	// c = 0 must equal raw Δ; larger c shrinks multi-tuple influence.
+	volt := voltagePredicate(task.Table)
+	task0 := *task
+	task0.C = 0
+	s0, _ := NewScorer(&task0)
+	task1 := *task
+	task1.C = 1
+	s1, _ := NewScorer(&task1)
+	// voltage<2.4 matches exactly 1 tuple per outlier group → same score.
+	if !almostEqual(s0.Influence(volt), s1.Influence(volt)) {
+		t.Errorf("single-tuple predicate: c=0 %v != c=1 %v", s0.Influence(volt), s1.Influence(volt))
+	}
+	// humidity ∈ [0.4, 0.55] matches 2 tuples per outlier group (T5,T6 and
+	// T8,T9) and the entire hold-out group (Δ=0 there) → the 2^c denominator
+	// is the only difference between c values.
+	wide := predicate.MustNew(predicate.NewRangeClause(col, "humidity", 0.4, 0.55, true))
+	i0, i1 := s0.Influence(wide), s1.Influence(wide)
+	if i0 <= i1 {
+		t.Errorf("c=0 should score the 2-tuple predicate higher: %v vs %v", i0, i1)
+	}
+	if !almostEqual(i0, 2*i1) {
+		t.Errorf("2-tuple predicate: c=0 score %v should be 2× c=1 score %v", i0, i1)
+	}
+}
+
+func TestEmptyPredicateMatchesNothing(t *testing.T) {
+	task := paperTask(t)
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := task.Table.Schema().MustIndex("voltage")
+	p := predicate.MustNew(predicate.NewRangeClause(col, "voltage", 900, 1000, false))
+	if got := s.Influence(p); got != 0 {
+		t.Errorf("no-match predicate influence = %v, want 0", got)
+	}
+}
+
+func TestCountStarTask(t *testing.T) {
+	tbl := sensorsTable(t)
+	q, err := query.FromSQL(tbl, "SELECT count(*), time FROM sensors GROUP BY time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _ := res.Lookup("12PM")
+	task := &Task{
+		Table:    tbl,
+		Agg:      aggregate.Count{},
+		AggCol:   -1,
+		Outliers: []Group{{Key: "12PM", Rows: row.Group, Direction: TooHigh}},
+		Lambda:   0.5,
+		C:        1,
+	}
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := voltagePredicate(tbl)
+	// COUNT removes 1 of 3 → Δ=1, |p(g)|=1 → influence 1; λ weight 0.5.
+	if got := s.Influence(p); !almostEqual(got, 0.5) {
+		t.Errorf("count influence = %v, want 0.5", got)
+	}
+}
+
+func TestBlackBoxMatchesIncremental(t *testing.T) {
+	task := paperTask(t)
+	inc, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same aggregate wrapped as a black-box UDA.
+	black := *task
+	black.Agg = aggregate.UDA{FuncName: "avg_udf", Fn: aggregate.Avg{}.Compute, IsIndependent: true}
+	bb, err := NewScorer(&black)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.Incremental() {
+		t.Fatal("UDA must use the black-box path")
+	}
+	preds := []predicate.Predicate{
+		voltagePredicate(task.Table),
+		predicate.True(),
+	}
+	tempCol := task.Table.Schema().MustIndex("temp")
+	preds = append(preds, predicate.MustNew(predicate.NewRangeClause(tempCol, "temp", 60, 200, true)))
+	for _, p := range preds {
+		a, b := inc.Influence(p), bb.Influence(p)
+		// True() removes whole groups: AVG(∅) undefined → both paths yield 0.
+		if !almostEqual(a, b) {
+			t.Errorf("incremental %v != black-box %v for %v", a, b, p)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := paperTask(t)
+	run := func(mutate func(*Task)) error {
+		task := *base
+		task.Outliers = append([]Group(nil), base.Outliers...)
+		mutate(&task)
+		_, err := NewScorer(&task)
+		return err
+	}
+	if err := run(func(x *Task) { x.Table = nil }); err == nil {
+		t.Error("nil table accepted")
+	}
+	if err := run(func(x *Task) { x.Agg = nil }); err == nil {
+		t.Error("nil aggregate accepted")
+	}
+	if err := run(func(x *Task) { x.Outliers = nil }); err == nil {
+		t.Error("empty outliers accepted")
+	}
+	if err := run(func(x *Task) { x.Lambda = 1.5 }); err == nil {
+		t.Error("bad lambda accepted")
+	}
+	if err := run(func(x *Task) { x.C = -1 }); err == nil {
+		t.Error("negative c accepted")
+	}
+	if err := run(func(x *Task) { x.Outliers[0].Direction = 0 }); err == nil {
+		t.Error("missing error vector accepted")
+	}
+}
+
+func TestScorerCallCountingAndCache(t *testing.T) {
+	task := paperTask(t)
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := voltagePredicate(task.Table)
+	before := s.Calls()
+	s.Influence(p)
+	mid := s.Calls()
+	if mid == before {
+		t.Fatal("first Influence did no work")
+	}
+	s.Influence(p) // memoized
+	if s.Calls() != mid {
+		t.Error("memoized Influence re-evaluated deltas")
+	}
+	s.ResetCache()
+	s.Influence(p)
+	if s.Calls() == mid {
+		t.Error("ResetCache did not clear memoization")
+	}
+}
+
+// Property: for AVG over random groups, the incremental scorer and a
+// black-box recomputation agree on random range predicates.
+func TestIncrementalEqualsBlackBoxProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := relation.MustSchema(
+			relation.Column{Name: "g", Kind: relation.Discrete},
+			relation.Column{Name: "x", Kind: relation.Continuous},
+			relation.Column{Name: "v", Kind: relation.Continuous},
+		)
+		b := relation.NewBuilder(schema)
+		n := 20 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			b.MustAppend(relation.Row{
+				relation.S([]string{"a", "b"}[rng.Intn(2)]),
+				relation.F(rng.Float64() * 100),
+				relation.F(rng.Float64()*50 - 10),
+			})
+		}
+		tbl := b.Build()
+		q, err := query.FromSQL(tbl, "SELECT avg(v), g FROM t GROUP BY g")
+		if err != nil {
+			return false
+		}
+		res, err := q.Run()
+		if err != nil || len(res.Rows) < 2 {
+			return true // degenerate draw; skip
+		}
+		task := &Task{
+			Table:    tbl,
+			Agg:      aggregate.Avg{},
+			AggCol:   tbl.Schema().MustIndex("v"),
+			Outliers: []Group{{Key: res.Rows[0].Key, Rows: res.Rows[0].Group, Direction: TooHigh}},
+			HoldOuts: []Group{{Key: res.Rows[1].Key, Rows: res.Rows[1].Group}},
+			Lambda:   0.5,
+			C:        rng.Float64(),
+		}
+		inc, err := NewScorer(task)
+		if err != nil {
+			return false
+		}
+		blackTask := *task
+		blackTask.Agg = aggregate.UDA{FuncName: "avg2", Fn: aggregate.Avg{}.Compute}
+		bb, err := NewScorer(&blackTask)
+		if err != nil {
+			return false
+		}
+		xCol := tbl.Schema().MustIndex("x")
+		for k := 0; k < 5; k++ {
+			lo := rng.Float64() * 90
+			hi := lo + rng.Float64()*30
+			p := predicate.MustNew(predicate.NewRangeClause(xCol, "x", lo, hi, rng.Intn(2) == 0))
+			if math.Abs(inc.Influence(p)-bb.Influence(p)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxTupleInfluence(t *testing.T) {
+	task := paperTask(t)
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over the whole space, the max single-tuple influence is T6's 21.6̄.
+	got := s.MaxTupleInfluence(predicate.True())
+	if !almostEqual(got, 170.0/3-35) {
+		t.Errorf("MaxTupleInfluence(true) = %v, want %v", got, 170.0/3-35)
+	}
+	// Restricted to sensor 1: T4's influence is 56.6̄−67.5 = −10.83̄ and
+	// T7's is 50−57.5 = −7.5; the max is T7's.
+	col := task.Table.Schema().MustIndex("sensorid")
+	code, _ := task.Table.Dict(col).Lookup("1")
+	p := predicate.MustNew(predicate.NewSetClause(col, "sensorid", []int32{code}))
+	got = s.MaxTupleInfluence(p)
+	if !almostEqual(got, -7.5) {
+		t.Errorf("MaxTupleInfluence(sensor1) = %v, want -7.5", got)
+	}
+}
+
+func TestPartsDecomposition(t *testing.T) {
+	task := paperTask(t)
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := task.Table.Schema().MustIndex("sensorid")
+	code, _ := task.Table.Dict(col).Lookup("3")
+	p := predicate.MustNew(predicate.NewSetClause(col, "sensorid", []int32{code}))
+	outMean, holdPen := s.Parts(p)
+	if got := s.Influence(p); !almostEqual(got, task.Lambda*outMean-(1-task.Lambda)*holdPen) {
+		t.Errorf("Influence %v != λ·%v − (1−λ)·%v", got, outMean, holdPen)
+	}
+	if holdPen <= 0 {
+		t.Errorf("hold-out penalty = %v, want positive (sensor 3 exists at 11AM)", holdPen)
+	}
+}
+
+func TestTupleHoldOutInfluence(t *testing.T) {
+	task := paperTask(t)
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing T1 (34) from the 11AM group: avg 34.6̄ → 35; Δ = −0.3̄.
+	got := s.TupleHoldOutInfluence(0, 0)
+	if !almostEqual(got, 104.0/3-35) {
+		t.Errorf("TupleHoldOutInfluence(T1) = %v, want %v", got, 104.0/3-35)
+	}
+}
+
+func TestBlackBoxTupleInfluence(t *testing.T) {
+	task := paperTask(t)
+	task.Agg = aggregate.UDA{FuncName: "avgbb", Fn: aggregate.Avg{}.Compute}
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TupleOutlierInfluence(0, 5); !almostEqual(got, 170.0/3-35) {
+		t.Errorf("black-box inf(T6) = %v", got)
+	}
+	if got := s.TupleHoldOutInfluence(0, 0); !almostEqual(got, 104.0/3-35) {
+		t.Errorf("black-box hold-out inf(T1) = %v", got)
+	}
+}
+
+func TestOriginalResultAccessors(t *testing.T) {
+	task := paperTask(t)
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OutlierResult(0); !almostEqual(got, 170.0/3) {
+		t.Errorf("OutlierResult(0) = %v", got)
+	}
+	if got := s.HoldOutResult(0); !almostEqual(got, 104.0/3) {
+		t.Errorf("HoldOutResult(0) = %v", got)
+	}
+	if s.Task() != task {
+		t.Error("Task() identity lost")
+	}
+}
+
+func TestPerturbationModeDelta(t *testing.T) {
+	task := paperTask(t)
+	target := 20.0
+	task.Perturb = &target
+	s, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := voltagePredicate(task.Table)
+	// 12PM: T6's 100 becomes 20 → avg{35,35,20} = 30; Δ = 56.6̄ − 30.
+	if got := s.OutlierInfluence(0, p); !almostEqual(got, 170.0/3-30) {
+		t.Errorf("perturb influence 12PM = %v, want %v", got, 170.0/3-30)
+	}
+	// 1PM: T9's 80 becomes 20 → avg{35,35,20} = 30; Δ = 50 − 30 = 20.
+	if got := s.OutlierInfluence(1, p); !almostEqual(got, 20) {
+		t.Errorf("perturb influence 1PM = %v, want 20", got)
+	}
+	// Tuple influence under perturbation: T6 from 100 → 20.
+	if got := s.TupleOutlierInfluence(0, 5); !almostEqual(got, 170.0/3-30) {
+		t.Errorf("perturb tuple influence T6 = %v", got)
+	}
+	// Whole-group predicates stay well-defined in perturbation mode.
+	col := task.Table.Schema().MustIndex("humidity")
+	whole := predicate.MustNew(predicate.NewRangeClause(col, "humidity", 0, 1, true))
+	// All three 12PM temps become 20 → avg 20; Δ = 56.6̄ − 20, scaled by
+	// the c=1 denominator |p(g)| = 3.
+	if got := s.OutlierInfluence(0, whole); !almostEqual(got, (170.0/3-20)/3) {
+		t.Errorf("perturb whole-group = %v, want %v", got, (170.0/3-20)/3)
+	}
+}
+
+func TestPerturbationBlackBoxAgrees(t *testing.T) {
+	task := paperTask(t)
+	target := 20.0
+	task.Perturb = &target
+	inc, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blackTask := *task
+	blackTask.Agg = aggregate.UDA{FuncName: "avgbb", Fn: aggregate.Avg{}.Compute}
+	bb, err := NewScorer(&blackTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := voltagePredicate(task.Table)
+	if a, b := inc.Influence(p), bb.Influence(p); !almostEqual(a, b) {
+		t.Errorf("incremental %v != black-box %v in perturbation mode", a, b)
+	}
+	if a, b := inc.TupleOutlierInfluence(0, 5), bb.TupleOutlierInfluence(0, 5); !almostEqual(a, b) {
+		t.Errorf("tuple influence %v != %v in perturbation mode", a, b)
+	}
+}

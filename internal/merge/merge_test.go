@@ -1,0 +1,283 @@
+package merge
+
+import (
+	"math"
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/aggregate"
+	"github.com/scorpiondb/scorpion/internal/eval"
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	dtpkg "github.com/scorpiondb/scorpion/internal/partition/dt"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/relation"
+	"github.com/scorpiondb/scorpion/internal/synth"
+)
+
+// gridFixture builds a 1-attribute dataset with a high-valued run in
+// x ∈ [40,60) of the outlier group, plus 10-unit grid-cell candidates.
+type gridFixture struct {
+	scorer *influence.Scorer
+	space  *predicate.Space
+	table  *relation.Table
+	cands  []partition.Candidate
+}
+
+func buildGrid(t testing.TB, c float64) gridFixture {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "g", Kind: relation.Discrete},
+		relation.Column{Name: "x", Kind: relation.Continuous},
+		relation.Column{Name: "v", Kind: relation.Continuous},
+	)
+	b := relation.NewBuilder(schema)
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		v := 10.0
+		if x >= 40 && x < 60 {
+			v = 100
+		}
+		b.MustAppend(relation.Row{relation.S("out"), relation.F(x), relation.F(v)})
+	}
+	for i := 0; i < 100; i++ {
+		b.MustAppend(relation.Row{relation.S("hold"), relation.F(float64(i)), relation.F(10)})
+	}
+	tbl := b.Build()
+	out := relation.NewRowSet(tbl.NumRows())
+	hold := relation.NewRowSet(tbl.NumRows())
+	for r := 0; r < 100; r++ {
+		out.Add(r)
+	}
+	for r := 100; r < 200; r++ {
+		hold.Add(r)
+	}
+	task := &influence.Task{
+		Table:    tbl,
+		Agg:      aggregate.Avg{},
+		AggCol:   tbl.Schema().MustIndex("v"),
+		Outliers: []influence.Group{{Key: "out", Rows: out, Direction: influence.TooHigh}},
+		HoldOuts: []influence.Group{{Key: "hold", Rows: hold}},
+		Lambda:   0.5,
+		C:        c,
+	}
+	scorer, err := influence.NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := predicate.NewSpace(tbl, []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cands []partition.Candidate
+	for lo := 0.0; lo < 100; lo += 10 {
+		p := predicate.MustNew(predicate.NewRangeClause(
+			tbl.Schema().MustIndex("x"), "x", lo, lo+10, lo+10 >= 100))
+		cands = append(cands, partition.Candidate{Pred: p, Score: scorer.Influence(p)})
+	}
+	return gridFixture{scorer: scorer, space: space, table: tbl, cands: cands}
+}
+
+func TestMergeGrowsAdjacentCells(t *testing.T) {
+	fx := buildGrid(t, 0.2)
+	m := New(fx.scorer, fx.space, Params{})
+	out := m.Merge(fx.cands)
+	if len(out) == 0 {
+		t.Fatal("no merged candidates")
+	}
+	best := out[0]
+	// The two high cells [40,50) and [50,60) must merge into [40,60).
+	cl := best.Pred.Clauses()
+	if len(cl) != 1 || math.Abs(cl[0].Lo-40) > 1e-9 || math.Abs(cl[0].Hi-60) > 1e-9 {
+		t.Errorf("best merged = %v, want [40,60)", best.Pred)
+	}
+	// And it must outscore both inputs.
+	for _, c := range fx.cands {
+		if best.Score < c.Score {
+			t.Errorf("merged score %v below input %v", best.Score, c.Score)
+		}
+	}
+}
+
+func TestMergeOutputSortedAndDeduped(t *testing.T) {
+	fx := buildGrid(t, 0.2)
+	m := New(fx.scorer, fx.space, Params{})
+	out := m.Merge(fx.cands)
+	seen := map[string]bool{}
+	for i, c := range out {
+		if i > 0 && c.Score > out[i-1].Score {
+			t.Fatal("output not descending")
+		}
+		if seen[c.Pred.Key()] {
+			t.Fatalf("duplicate predicate %v", c.Pred)
+		}
+		seen[c.Pred.Key()] = true
+	}
+}
+
+func TestTopQuartileReducesExpansion(t *testing.T) {
+	fxAll := buildGrid(t, 0.2)
+	mAll := New(fxAll.scorer, fxAll.space, Params{})
+	mAll.Merge(fxAll.cands)
+	callsAll := fxAll.scorer.Calls()
+
+	fxQ := buildGrid(t, 0.2)
+	mQ := New(fxQ.scorer, fxQ.space, Params{TopQuartileOnly: true})
+	mQ.Merge(fxQ.cands)
+	callsQ := fxQ.scorer.Calls()
+
+	if callsQ >= callsAll {
+		t.Errorf("top-quartile did not reduce Scorer calls: %d vs %d", callsQ, callsAll)
+	}
+}
+
+func TestMergeEmptyInput(t *testing.T) {
+	fx := buildGrid(t, 0.2)
+	m := New(fx.scorer, fx.space, Params{})
+	if out := m.Merge(nil); out != nil {
+		t.Errorf("Merge(nil) = %v, want nil", out)
+	}
+}
+
+func TestSameColumns(t *testing.T) {
+	a := predicate.MustNew(predicate.NewRangeClause(0, "x", 0, 1, false))
+	b := predicate.MustNew(predicate.NewRangeClause(0, "x", 1, 2, false))
+	c := predicate.MustNew(predicate.NewRangeClause(1, "y", 0, 1, false))
+	d := predicate.MustNew(
+		predicate.NewRangeClause(0, "x", 0, 1, false),
+		predicate.NewRangeClause(1, "y", 0, 1, false),
+	)
+	if !sameColumns(a, b) {
+		t.Error("same-column predicates reported different")
+	}
+	if sameColumns(a, c) || sameColumns(a, d) {
+		t.Error("different-column predicates reported same")
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	fx := buildGrid(t, 0.2)
+	xCol := fx.table.Schema().MustIndex("x")
+	mk := func(lo, hi float64) predicate.Predicate {
+		return predicate.MustNew(predicate.NewRangeClause(xCol, "x", lo, hi, false))
+	}
+	cases := []struct {
+		q, pstar predicate.Predicate
+		want     float64
+	}{
+		{mk(0, 10), mk(0, 10), 1},
+		{mk(0, 10), mk(5, 10), 0.5},
+		{mk(0, 10), mk(20, 30), 0},
+		{mk(0, 10), predicate.True(), 1},
+		{mk(0, 100), mk(25, 75), 0.5},
+	}
+	for _, tc := range cases {
+		got := overlapFraction(fx.space, tc.q, tc.pstar)
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("overlapFraction(%v, %v) = %v, want %v", tc.q, tc.pstar, got, tc.want)
+		}
+	}
+}
+
+func TestOverlapFractionDiscreteAndUnconstrained(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Column{Name: "d", Kind: relation.Discrete},
+		relation.Column{Name: "x", Kind: relation.Continuous},
+	)
+	b := relation.NewBuilder(schema)
+	for i := 0; i < 8; i++ {
+		b.MustAppend(relation.Row{
+			relation.S([]string{"a", "b", "c", "e"}[i%4]),
+			relation.F(float64(i)),
+		})
+	}
+	tbl := b.Build()
+	space, err := predicate.NewSpace(tbl, []string{"d", "x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := predicate.MustNew(predicate.NewSetClause(0, "d", []int32{0, 1}))
+	pstar := predicate.MustNew(predicate.NewSetClause(0, "d", []int32{1, 2}))
+	if got := overlapFraction(space, q, pstar); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("discrete overlap = %v, want 0.5", got)
+	}
+	// p* constrains x (unconstrained in q): overlap shrinks by p*'s domain
+	// coverage. x domain is [0,7]; [0,3.5) covers half.
+	pstar2 := predicate.MustNew(predicate.NewRangeClause(1, "x", 0, 3.5, false))
+	if got := overlapFraction(space, q, pstar2); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("unconstrained-attr overlap = %v, want 0.5", got)
+	}
+}
+
+func TestScaleState(t *testing.T) {
+	s := aggregate.State{2, 4}
+	out := scaleState(s, 2.5)
+	if out[0] != 5 || out[1] != 10 {
+		t.Errorf("scaleState = %v", out)
+	}
+	if s[0] != 2 {
+		t.Error("scaleState mutated input")
+	}
+}
+
+// TestApproximationAvoidsScorerCalls verifies §6.3 optimization 2 end to
+// end: merging DT candidates with approximation must call the Scorer far
+// less than exact merging, while still ranking the planted cube first.
+func TestApproximationAvoidsScorerCalls(t *testing.T) {
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 250, Groups: 6, OutlierGroups: 3, Mu: 80, Seed: 9,
+	})
+	run := func(useApprox bool) (int64, partition.Candidate) {
+		task, space, err := eval.SynthTask(ds, "avg", 0.5, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scorer, err := influence.NewScorer(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dtpkg.Run(scorer, space, dtpkg.Params{DisableSampling: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := scorer.Calls()
+		m := New(scorer, space, Params{TopQuartileOnly: true, UseApproximation: useApprox})
+		out := m.Merge(res.Candidates)
+		best, ok := partition.Top(out)
+		if !ok {
+			t.Fatal("no merged output")
+		}
+		return scorer.Calls() - before, best
+	}
+	callsExact, bestExact := run(false)
+	callsApprox, bestApprox := run(true)
+	if callsApprox >= callsExact {
+		t.Errorf("approximation did not reduce Scorer calls: %d vs %d", callsApprox, callsExact)
+	}
+	// Both paths should find influential predicates of comparable quality.
+	gOtask, _, _ := eval.SynthTask(ds, "avg", 0.5, 0.2)
+	gO := eval.OutlierUnion(gOtask)
+	accExact := eval.Score(bestExact.Pred, ds.Table, gO, ds.OuterRows)
+	accApprox := eval.Score(bestApprox.Pred, ds.Table, gO, ds.OuterRows)
+	if accApprox.F1 < accExact.F1-0.35 {
+		t.Errorf("approximation quality collapsed: F1 %v vs exact %v", accApprox.F1, accExact.F1)
+	}
+}
+
+func TestMergeSeededConverges(t *testing.T) {
+	fx := buildGrid(t, 0.2)
+	m := New(fx.scorer, fx.space, Params{})
+	first := m.Merge(fx.cands)
+	best, _ := partition.Top(first)
+
+	// Seeding a fresh merge with the previous result must not lose quality
+	// and must converge immediately for the seed.
+	fx2 := buildGrid(t, 0.1) // lower c
+	m2 := New(fx2.scorer, fx2.space, Params{})
+	seeded := m2.MergeSeeded(fx2.cands, []partition.Candidate{best})
+	sBest, _ := partition.Top(seeded)
+	unseeded := m2.Merge(fx2.cands)
+	uBest, _ := partition.Top(unseeded)
+	if sBest.Score < uBest.Score-1e-9 {
+		t.Errorf("seeded best %v worse than unseeded %v", sBest.Score, uBest.Score)
+	}
+}

@@ -1,0 +1,195 @@
+package dt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// combineSpace builds a 2-continuous + 1-discrete search space over a grid
+// table.
+func combineSpace(t testing.TB) *predicate.Space {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "x", Kind: relation.Continuous},
+		relation.Column{Name: "y", Kind: relation.Continuous},
+		relation.Column{Name: "d", Kind: relation.Discrete},
+	)
+	b := relation.NewBuilder(schema)
+	for i := 0; i < 100; i++ {
+		b.MustAppend(relation.Row{
+			relation.F(float64(i)),
+			relation.F(float64((i * 7) % 100)),
+			relation.S([]string{"a", "b", "c", "e"}[i%4]),
+		})
+	}
+	tbl := b.Build()
+	space, err := predicate.NewSpace(tbl, []string{"x", "y", "d"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space
+}
+
+func box(xlo, xhi, ylo, yhi float64) predicate.Predicate {
+	return predicate.MustNew(
+		predicate.NewRangeClause(0, "x", xlo, xhi, false),
+		predicate.NewRangeClause(1, "y", ylo, yhi, false),
+	)
+}
+
+func TestSplitByBoxFullyInside(t *testing.T) {
+	space := combineSpace(t)
+	p := box(10, 20, 10, 20)
+	h := box(0, 100, 0, 100)
+	inside, ok, outside := splitByBox(p, h, space)
+	if !ok {
+		t.Fatal("inside piece missing")
+	}
+	if !inside.Equal(p) {
+		t.Errorf("inside = %v, want %v", inside, p)
+	}
+	if len(outside) != 0 {
+		t.Errorf("outside pieces = %v, want none", outside)
+	}
+}
+
+func TestSplitByBoxDisjoint(t *testing.T) {
+	space := combineSpace(t)
+	p := box(10, 20, 10, 20)
+	h := box(50, 60, 50, 60)
+	inside, ok, outside := splitByBox(p, h, space)
+	if ok {
+		t.Fatalf("unexpected inside piece %v", inside)
+	}
+	if len(outside) != 1 || !outside[0].Equal(p) {
+		t.Errorf("outside = %v, want the original box", outside)
+	}
+}
+
+func TestSplitByBoxPartialOverlap(t *testing.T) {
+	space := combineSpace(t)
+	p := box(0, 40, 0, 40)
+	h := box(20, 60, 20, 60)
+	inside, ok, outside := splitByBox(p, h, space)
+	if !ok {
+		t.Fatal("no inside piece")
+	}
+	// Inside must be [20,40) × [20,40).
+	xc, _ := inside.ClauseOn(0)
+	yc, _ := inside.ClauseOn(1)
+	if xc.Lo != 20 || xc.Hi != 40 || yc.Lo != 20 || yc.Hi != 40 {
+		t.Errorf("inside = %v", inside)
+	}
+	// Outside pieces: x ∈ [0,20) (full y), plus x ∈ [20,40) with y ∈ [0,20).
+	if len(outside) != 2 {
+		t.Fatalf("outside pieces = %d, want 2: %v", len(outside), outside)
+	}
+}
+
+func TestSplitByBoxDiscrete(t *testing.T) {
+	space := combineSpace(t)
+	p := predicate.MustNew(predicate.NewSetClause(2, "d", []int32{0, 1, 2}))
+	h := predicate.MustNew(predicate.NewSetClause(2, "d", []int32{1}))
+	inside, ok, outside := splitByBox(p, h, space)
+	if !ok {
+		t.Fatal("no inside piece")
+	}
+	ic, _ := inside.ClauseOn(2)
+	if len(ic.Values) != 1 || ic.Values[0] != 1 {
+		t.Errorf("inside values = %v, want [1]", ic.Values)
+	}
+	if len(outside) != 1 {
+		t.Fatalf("outside = %v", outside)
+	}
+	oc, _ := outside[0].ClauseOn(2)
+	if len(oc.Values) != 2 {
+		t.Errorf("outside values = %v, want [0 2]", oc.Values)
+	}
+}
+
+func TestSplitByBoxUnconstrainedAttribute(t *testing.T) {
+	space := combineSpace(t)
+	// p constrains only x; h constrains only y: the split must introduce
+	// the y clause via the domain.
+	p := predicate.MustNew(predicate.NewRangeClause(0, "x", 10, 30, false))
+	h := predicate.MustNew(predicate.NewRangeClause(1, "y", 20, 50, false))
+	inside, ok, outside := splitByBox(p, h, space)
+	if !ok {
+		t.Fatal("no inside piece")
+	}
+	yc, found := inside.ClauseOn(1)
+	if !found || yc.Lo != 20 || yc.Hi != 50 {
+		t.Errorf("inside y clause = %+v", yc)
+	}
+	// Outside: y ∈ [0,20) and y ∈ [50, 99] slices of p.
+	if len(outside) != 2 {
+		t.Fatalf("outside = %v", outside)
+	}
+}
+
+// Property: splitByBox partitions p — on every table row, membership in p
+// equals membership in exactly one piece.
+func TestSplitByBoxPartitionProperty(t *testing.T) {
+	space := combineSpace(t)
+	tbl := space.Table()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() predicate.Predicate {
+			var clauses []predicate.Clause
+			if rng.Intn(3) > 0 {
+				lo := rng.Float64() * 80
+				clauses = append(clauses, predicate.NewRangeClause(0, "x", lo, lo+rng.Float64()*40, false))
+			}
+			if rng.Intn(3) > 0 {
+				lo := rng.Float64() * 80
+				clauses = append(clauses, predicate.NewRangeClause(1, "y", lo, lo+rng.Float64()*40, false))
+			}
+			if rng.Intn(3) == 0 {
+				n := 1 + rng.Intn(3)
+				codes := make([]int32, n)
+				for i := range codes {
+					codes[i] = int32(rng.Intn(4))
+				}
+				clauses = append(clauses, predicate.NewSetClause(2, "d", codes))
+			}
+			return predicate.MustNew(clauses...)
+		}
+		p, h := mk(), mk()
+		inside, ok, outside := splitByBox(p, h, space)
+		pieces := append([]predicate.Predicate{}, outside...)
+		if ok {
+			pieces = append(pieces, inside)
+		}
+		for r := 0; r < tbl.NumRows(); r++ {
+			count := 0
+			for _, piece := range pieces {
+				if piece.Match(tbl, r) {
+					count++
+				}
+			}
+			want := 0
+			if p.Match(tbl, r) {
+				want = 1
+			}
+			if count != want {
+				return false
+			}
+		}
+		// The inside piece must lie within h.
+		if ok {
+			for r := 0; r < tbl.NumRows(); r++ {
+				if inside.Match(tbl, r) && !h.Match(tbl, r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package dt implements Scorpion's DT partitioner (§6.1): a top-down
+// regression-tree algorithm for independent aggregates. Tuples are labeled
+// with their individual influence; the attribute space is recursively split
+// so each partition holds tuples of similar influence, with the error
+// threshold relaxed for non-influential partitions (Figure 4). Outlier and
+// hold-out input groups are partitioned by two synchronized trees (§6.1.3)
+// whose per-group split metrics combine via max, and the two partitionings
+// are finally combined by splitting outlier partitions along influential
+// hold-out partitions (§6.1.4).
+//
+// The partitioning itself is agnostic to the c knob (tuple influence has a
+// denominator of 1^c), so a Partitioning can be cached and re-scored for
+// different c values (§8.3.3).
+package dt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// Params configures the DT partitioner.
+type Params struct {
+	// TauMin and TauMax bound the relative error threshold curve (Figure 4).
+	TauMin, TauMax float64
+	// InflectionP is the curve's inflection point p (paper: 0.5).
+	InflectionP float64
+	// MinSize stops splitting partitions with fewer sampled tuples.
+	MinSize int
+	// MaxDepth bounds tree depth.
+	MaxDepth int
+	// ContSplitCandidates is the number of quantile split candidates per
+	// continuous attribute.
+	ContSplitCandidates int
+	// Epsilon is the assumed fractional size of an influential cluster,
+	// driving the §6.1.2 initial sampling rate.
+	Epsilon float64
+	// Confidence is the probability of catching the cluster (paper: 0.95).
+	Confidence float64
+	// DisableSampling forces full scans (sampling rate 1).
+	DisableSampling bool
+	// SampleSeed seeds the deterministic sampler.
+	SampleSeed int64
+	// HoldOutFrac classifies a hold-out partition as influential when its
+	// |mean influence| exceeds this fraction of the hold-out influence
+	// spread (§6.1.4 combine step).
+	HoldOutFrac float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.TauMin <= 0 {
+		p.TauMin = 0.05
+	}
+	if p.TauMax <= 0 {
+		p.TauMax = 0.5
+	}
+	if p.InflectionP <= 0 {
+		p.InflectionP = 0.5
+	}
+	if p.MinSize <= 0 {
+		p.MinSize = 10
+	}
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 12
+	}
+	if p.ContSplitCandidates <= 0 {
+		p.ContSplitCandidates = 3
+	}
+	if p.Epsilon <= 0 {
+		p.Epsilon = 0.05
+	}
+	if p.Confidence <= 0 {
+		p.Confidence = 0.95
+	}
+	if p.HoldOutFrac <= 0 {
+		p.HoldOutFrac = 0.1
+	}
+	if p.SampleSeed == 0 {
+		p.SampleSeed = 1
+	}
+	return p
+}
+
+// Leaf is one partition of an input-group tree with its per-group
+// statistics.
+type Leaf struct {
+	// Pred is the partition's bounding predicate.
+	Pred predicate.Predicate
+	// Cards holds the exact per-group cardinality |Pred(g)|.
+	Cards []float64
+	// Means holds the per-group mean sampled tuple influence.
+	Means []float64
+	// CachedRows holds, per group, the sampled row whose influence is
+	// closest to the group mean (-1 when the group is empty here).
+	CachedRows []int
+	// MeanInfluence is the pooled mean influence across groups.
+	MeanInfluence float64
+	// SampledCount is the pooled number of sampled tuples.
+	SampledCount int
+}
+
+// Partitioning is the c-agnostic output of the DT trees: reusable across
+// Scorer runs with different c values.
+type Partitioning struct {
+	// OutlierLeaves and HoldOutLeaves are the two trees' partitions.
+	OutlierLeaves []Leaf
+	HoldOutLeaves []Leaf
+	// Combined holds the §6.1.4 combination: outlier partitions split along
+	// influential hold-out partitions, each flagged when it overlaps one.
+	Combined []combinedPiece
+}
+
+type combinedPiece struct {
+	pred              predicate.Predicate
+	source            int // index into OutlierLeaves
+	influencesHoldOut bool
+}
+
+// Result is a scored DT run.
+type Result struct {
+	// Candidates is the combined partitioning scored with the task's c.
+	Candidates []partition.Candidate
+	// Partitioning is the reusable c-agnostic structure.
+	Partitioning *Partitioning
+}
+
+// Run partitions and scores in one call.
+func Run(scorer *influence.Scorer, space *predicate.Space, params Params) (*Result, error) {
+	pt, err := Partition(scorer, space, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Candidates: pt.Candidates(scorer), Partitioning: pt}, nil
+}
+
+// Partition builds the outlier and hold-out trees and combines them. The
+// result does not depend on the task's C and can be cached across c sweeps.
+func Partition(scorer *influence.Scorer, space *predicate.Space, params Params) (*Partitioning, error) {
+	params = params.withDefaults()
+	task := scorer.Task()
+	if !task.Agg.Independent() {
+		return nil, fmt.Errorf("dt: aggregate %q is not independent; use the NAIVE partitioner", task.Agg.Name())
+	}
+
+	rng := rand.New(rand.NewSource(params.SampleSeed))
+	outTree := newTree(scorer, space, params, rng, groupsOf(task.Outliers), scorer.TupleOutlierInfluence)
+	outLeaves := outTree.build()
+
+	var holdLeaves []Leaf
+	if len(task.HoldOuts) > 0 {
+		holdTree := newTree(scorer, space, params, rng, groupsOf(task.HoldOuts), scorer.TupleHoldOutInfluence)
+		holdLeaves = holdTree.build()
+	}
+
+	pt := &Partitioning{OutlierLeaves: outLeaves, HoldOutLeaves: holdLeaves}
+	pt.combine(space, params)
+	return pt, nil
+}
+
+func groupsOf(gs []influence.Group) []influence.Group { return gs }
+
+// Candidates scores the combined partitioning with the given scorer,
+// producing Merger-ready candidates carrying the §6.3 statistics.
+func (pt *Partitioning) Candidates(scorer *influence.Scorer) []partition.Candidate {
+	task := scorer.Task()
+	out := make([]partition.Candidate, 0, len(pt.Combined))
+	for _, piece := range pt.Combined {
+		leaf := pt.OutlierLeaves[piece.source]
+		outMean, holdPen := scorer.Parts(piece.pred)
+		score := task.Lambda*outMean - (1-task.Lambda)*holdPen
+		c := partition.Candidate{
+			Pred:              piece.pred,
+			Score:             score,
+			HoldPenalty:       holdPen,
+			InfluencesHoldOut: piece.influencesHoldOut,
+		}
+		// Piece statistics: when the piece equals its source leaf, reuse
+		// leaf stats; otherwise estimate by volume fraction of the source.
+		if piece.pred.Equal(leaf.Pred) {
+			c.GroupCards = leaf.Cards
+			c.CachedRows = leaf.CachedRows
+			c.MeanInfluences = leaf.Means
+		} else {
+			frac := pieceFraction(leaf.Pred, piece.pred)
+			cards := make([]float64, len(leaf.Cards))
+			for i, n := range leaf.Cards {
+				cards[i] = n * frac
+			}
+			c.GroupCards = cards
+			c.CachedRows = leaf.CachedRows
+			c.MeanInfluences = leaf.Means
+		}
+		out = append(out, c)
+	}
+	partition.SortByScore(out)
+	return out
+}
+
+// pieceFraction estimates |piece| / |leaf| under uniform density.
+func pieceFraction(leaf, piece predicate.Predicate) float64 {
+	frac := 1.0
+	for _, pc := range piece.Clauses() {
+		lc, ok := leaf.ClauseOn(pc.Col)
+		if !ok {
+			continue
+		}
+		if lc.Kind == relation.Continuous {
+			lw := lc.Hi - lc.Lo
+			pw := math.Min(pc.Hi, lc.Hi) - math.Max(pc.Lo, lc.Lo)
+			if lw > 0 && pw > 0 {
+				frac *= pw / lw
+			}
+		} else if len(lc.Values) > 0 {
+			frac *= float64(len(pc.Values)) / float64(len(lc.Values))
+		}
+	}
+	if frac < 0 {
+		return 0
+	}
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}
+
+// threshold computes the Figure 4 error threshold for a partition whose
+// maximum tuple influence is infMax, given the tree-global influence bounds
+// [infL, infU].
+//
+// The paper's slope formula as printed yields a negative slope (tightening
+// the threshold as partitions become LESS influential, the opposite of the
+// stated intent); we implement the stated curve: ω = τmax for
+// infMax ≤ infL + p·(infU−infL), decreasing linearly to ω = τmin at
+// infMax = infU.
+func threshold(infMax, infL, infU, tauMin, tauMax, p float64) float64 {
+	spread := infU - infL
+	if spread <= 0 {
+		return 0
+	}
+	s := (tauMax - tauMin) / ((1 - p) * spread)
+	omega := tauMin + s*(infU-infMax)
+	if omega > tauMax {
+		omega = tauMax
+	}
+	if omega < tauMin {
+		omega = tauMin
+	}
+	return omega * spread
+}

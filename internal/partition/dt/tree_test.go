@@ -1,0 +1,164 @@
+package dt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/scorpiondb/scorpion/internal/aggregate"
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// bruteWeightedStd computes the split metric the slow way for one group.
+func bruteWeightedStd(infs []float64, left []bool) float64 {
+	var l, r []float64
+	for i, v := range infs {
+		if left[i] {
+			l = append(l, v)
+		} else {
+			r = append(r, v)
+		}
+	}
+	std := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		m := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - m) * (x - m)
+		}
+		return math.Sqrt(ss / float64(len(xs)))
+	}
+	n := float64(len(infs))
+	return (float64(len(l))*std(l) + float64(len(r))*std(r)) / n
+}
+
+// Property: splitMetric equals the brute-force weighted std, maximized over
+// groups.
+func TestSplitMetricMatchesBruteForceProperty(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Column{Name: "g", Kind: relation.Discrete},
+		relation.Column{Name: "x", Kind: relation.Continuous},
+		relation.Column{Name: "v", Kind: relation.Continuous},
+	)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := relation.NewBuilder(schema)
+		n := 10 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			b.MustAppend(relation.Row{
+				relation.S([]string{"a", "b"}[rng.Intn(2)]),
+				relation.F(rng.Float64() * 100),
+				relation.F(rng.Float64() * 50),
+			})
+		}
+		tbl := b.Build()
+		groupsRows := map[string]*relation.RowSet{
+			"a": relation.NewRowSet(tbl.NumRows()),
+			"b": relation.NewRowSet(tbl.NumRows()),
+		}
+		gCol := tbl.Schema().MustIndex("g")
+		for r := 0; r < tbl.NumRows(); r++ {
+			groupsRows[tbl.Str(gCol, r)].Add(r)
+		}
+		var groups []influence.Group
+		for _, key := range []string{"a", "b"} {
+			if groupsRows[key].IsEmpty() {
+				continue
+			}
+			groups = append(groups, influence.Group{
+				Key: key, Rows: groupsRows[key], Direction: influence.TooHigh,
+			})
+		}
+		task := &influence.Task{
+			Table:    tbl,
+			Agg:      aggregate.Avg{},
+			AggCol:   tbl.Schema().MustIndex("v"),
+			Outliers: groups,
+			Lambda:   0.5,
+			C:        1,
+		}
+		scorer, err := influence.NewScorer(task)
+		if err != nil {
+			return false
+		}
+		space, err := predicate.NewSpace(tbl, []string{"x"}, nil)
+		if err != nil {
+			return false
+		}
+		tr := newTree(scorer, space, Params{DisableSampling: true}.withDefaults(),
+			rand.New(rand.NewSource(1)), groups, scorer.TupleOutlierInfluence)
+
+		// Build a root node manually with full sampling.
+		root := node{pred: predicate.True()}
+		for gi, g := range groups {
+			ng := nodeGroup{rate: 1}
+			g.Rows.ForEach(func(r int) {
+				ng.full = append(ng.full, r)
+				ng.sampled = append(ng.sampled, r)
+				ng.infs = append(ng.infs, tr.influenceOf(gi, r))
+			})
+			root.groups = append(root.groups, ng)
+		}
+
+		// A random threshold split on x.
+		thresh := rng.Float64() * 100
+		vals := tbl.Floats(tbl.Schema().MustIndex("x"))
+		got := tr.splitMetric(&root, func(r int) bool { return vals[r] < thresh })
+
+		want := 0.0
+		for gi := range root.groups {
+			g := &root.groups[gi]
+			if len(g.sampled) == 0 {
+				continue
+			}
+			left := make([]bool, len(g.sampled))
+			for i, r := range g.sampled {
+				left[i] = vals[r] < thresh
+			}
+			if m := bruteWeightedStd(g.infs, left); m > want {
+				want = m
+			}
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStdFromSums checks the incremental std helper against direct
+// computation.
+func TestStdFromSums(t *testing.T) {
+	xs := []float64{3, 7, 7, 19}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	got := stdFromSums(sum, sumsq, float64(len(xs)))
+	mean := sum / 4
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	want := math.Sqrt(ss / 4)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("stdFromSums = %v, want %v", got, want)
+	}
+	if stdFromSums(0, 0, 0) != 0 {
+		t.Error("empty std should be 0")
+	}
+	// Cancellation must not go negative.
+	if v := stdFromSums(1e8, 1e8*1e8/4, 4); math.IsNaN(v) {
+		t.Error("cancellation produced NaN")
+	}
+}

@@ -1,0 +1,392 @@
+// Package mc implements Scorpion's bottom-up MC partitioner (§6.2) for
+// independent, anti-monotonic aggregates (COUNT, SUM on non-negative data).
+// It adapts the CLIQUE subspace-clustering algorithm: single-attribute units
+// are scored, merged, pruned against the best predicate so far, and
+// intersected apriori-style to build higher-dimensional predicates until no
+// merged predicate improves on the best.
+//
+// Pruning (§6.2, corrected): the paper's PRUNE pseudocode as printed keeps
+// exactly the candidates it argues are prunable; we implement the stated
+// intent. A unit p is pruned only when BOTH optimistic bounds fall below the
+// best influence so far:
+//
+//  1. its hold-out-free influence λ·inf(O, ∅, p, V) — because a refinement
+//     of p may escape hold-out penalties (Figure 6a) but cannot gain
+//     outlier influence beyond anti-monotonic Δ, and
+//  2. λ times the maximum single-tuple influence inside p — because
+//     influence is only anti-monotonic when the best tuple of a subset
+//     cannot dominate the subset's mean (the {1, 50, 100} SUM example).
+package mc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scorpiondb/scorpion/internal/aggregate"
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/merge"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// Params configures the MC partitioner.
+type Params struct {
+	// Bins is the number of equi-width units per continuous attribute
+	// (paper: 15).
+	Bins int
+	// MaxDiscreteValues caps the units of a discrete attribute to the
+	// values with the highest single-tuple influence; 0 = no cap.
+	MaxDiscreteValues int
+	// MaxIterations caps the dimensionality growth; 0 = number of
+	// attributes.
+	MaxIterations int
+	// MaxUnits caps the candidate population per generation (safety valve
+	// against joins exploding on dense data); 0 = 4096.
+	MaxUnits int
+	// Merge configures the embedded Merger.
+	Merge merge.Params
+}
+
+func (p Params) withDefaults() Params {
+	if p.Bins <= 0 {
+		p.Bins = 15
+	}
+	if p.MaxUnits <= 0 {
+		p.MaxUnits = 4096
+	}
+	return p
+}
+
+// Result is the outcome of an MC run.
+type Result struct {
+	// Best is the most influential predicate found.
+	Best partition.Candidate
+	// Candidates holds the final merged candidate list, descending.
+	Candidates []partition.Candidate
+	// Iterations is the number of completed intersection rounds.
+	Iterations int
+}
+
+// unit is a candidate predicate with its cached row set over g_O.
+type unit struct {
+	pred predicate.Predicate
+	rows *relation.RowSet
+	// dims is the number of constrained attributes.
+	dims  int
+	score float64
+}
+
+// Run executes the MC algorithm.
+func Run(scorer *influence.Scorer, space *predicate.Space, params Params) (*Result, error) {
+	params = params.withDefaults()
+	task := scorer.Task()
+	if !task.Agg.Independent() {
+		return nil, fmt.Errorf("mc: aggregate %q is not independent", task.Agg.Name())
+	}
+	am, ok := task.Agg.(aggregate.AntiMonotonic)
+	if !ok {
+		return nil, fmt.Errorf("mc: aggregate %q is not anti-monotonic; use DT or NAIVE", task.Agg.Name())
+	}
+	for _, g := range task.Outliers {
+		if !am.Check(groupValues(task, g)) {
+			return nil, fmt.Errorf("mc: outlier group %q violates %s's anti-monotonicity constraint", g.Key, task.Agg.Name())
+		}
+	}
+
+	m := &runner{scorer: scorer, space: space, params: params, task: task}
+	m.init()
+	return m.run()
+}
+
+type runner struct {
+	scorer *influence.Scorer
+	space  *predicate.Space
+	params Params
+	task   *influence.Task
+
+	gO       *relation.RowSet // union of outlier groups
+	tupleInf []float64        // per-row influence (NaN outside g_O)
+	units    []unit
+}
+
+// groupValues projects the aggregate attribute of a group.
+func groupValues(task *influence.Task, g influence.Group) []float64 {
+	if task.AggCol < 0 {
+		return make([]float64, g.Rows.Count())
+	}
+	col := task.Table.Floats(task.AggCol)
+	out := make([]float64, 0, g.Rows.Count())
+	g.Rows.ForEach(func(r int) { out = append(out, col[r]) })
+	return out
+}
+
+// init precomputes g_O, per-tuple influences, and the generation-1 units.
+func (m *runner) init() {
+	t := m.task
+	m.gO = relation.NewRowSet(t.Table.NumRows())
+	m.tupleInf = make([]float64, t.Table.NumRows())
+	for i := range m.tupleInf {
+		m.tupleInf[i] = math.NaN()
+	}
+	for gi, g := range t.Outliers {
+		g.Rows.ForEach(func(r int) {
+			m.tupleInf[r] = m.scorer.TupleOutlierInfluence(gi, r)
+		})
+		m.gO.Or(g.Rows)
+	}
+	for _, col := range m.space.Columns() {
+		if m.space.Kind(col) == relation.Continuous {
+			m.initContinuousUnits(col)
+		} else {
+			m.initDiscreteUnits(col)
+		}
+	}
+	for i := range m.units {
+		m.units[i].score = m.scorer.Influence(m.units[i].pred)
+	}
+}
+
+func (m *runner) initContinuousUnits(col int) {
+	t := m.task.Table
+	st := t.FloatStats(col, m.gO)
+	if st.Count == 0 || st.Max <= st.Min {
+		return
+	}
+	name := m.space.Name(col)
+	width := (st.Max - st.Min) / float64(m.params.Bins)
+	for i := 0; i < m.params.Bins; i++ {
+		lo := st.Min + float64(i)*width
+		hi := st.Min + float64(i+1)*width
+		p := predicate.MustNew(predicate.NewRangeClause(col, name, lo, hi, i == m.params.Bins-1))
+		m.addUnit(p)
+	}
+}
+
+func (m *runner) initDiscreteUnits(col int) {
+	t := m.task.Table
+	codes := t.DistinctCodes(col, m.gO)
+	name := m.space.Name(col)
+	if cap := m.params.MaxDiscreteValues; cap > 0 && len(codes) > cap {
+		codes = m.topCodesByInfluence(col, codes, cap)
+	}
+	for _, c := range codes {
+		p := predicate.MustNew(predicate.NewSetClause(col, name, []int32{c}))
+		m.addUnit(p)
+	}
+}
+
+// topCodesByInfluence keeps the cap codes whose best tuple influence is
+// highest — the only codes whose units could survive pruning.
+func (m *runner) topCodesByInfluence(col int, codes []int32, cap int) []int32 {
+	colCodes := m.task.Table.Codes(col)
+	best := make(map[int32]float64, len(codes))
+	for _, c := range codes {
+		best[c] = math.Inf(-1)
+	}
+	m.gO.ForEach(func(r int) {
+		c := colCodes[r]
+		if v := m.tupleInf[r]; v > best[c] {
+			best[c] = v
+		}
+	})
+	kept := append([]int32(nil), codes...)
+	// Partial selection: simple sort is fine at these cardinalities.
+	for i := 0; i < len(kept); i++ {
+		for j := i + 1; j < len(kept); j++ {
+			if best[kept[j]] > best[kept[i]] {
+				kept[i], kept[j] = kept[j], kept[i]
+			}
+		}
+	}
+	return kept[:cap]
+}
+
+func (m *runner) addUnit(p predicate.Predicate) {
+	rows := p.Eval(m.task.Table, m.gO)
+	if rows.IsEmpty() {
+		return
+	}
+	m.units = append(m.units, unit{pred: p, rows: rows, dims: p.NumClauses()})
+}
+
+// run is the main MC loop (the paper's pseudocode, §6.2). Two deliberate
+// clarifications of the pseudocode:
+//
+//   - `best` starts as Null, so the first iteration's line-12 filter keeps
+//     every merged predicate (the paper's Merger also returns unexpanded
+//     inputs, so line 15 retains all units initially);
+//   - pruning compares a unit's optimistic bounds against the best score of
+//     its OWN generation. Comparing fine-grained k-dim units against the
+//     globally best merged (much larger) predicate would discard exactly
+//     the cells the next intersection round needs — the bounds only argue
+//     about refinements, while the Merger builds supersets.
+func (m *runner) run() (*Result, error) {
+	res := &Result{}
+	if len(m.units) == 0 {
+		return nil, fmt.Errorf("mc: no non-empty units over the outlier groups")
+	}
+	maxIter := m.params.MaxIterations
+	if maxIter <= 0 {
+		maxIter = len(m.space.Columns())
+	}
+
+	merger := merge.New(m.scorer, m.space, m.params.Merge)
+	global := partition.Candidate{Score: math.Inf(-1)}
+	haveGlobal := false
+	prevBest := math.Inf(-1) // the pseudocode's `best`: Null initially
+
+	for iter := 0; iter < maxIter && len(m.units) > 0; iter++ {
+		if iter > 0 {
+			m.units = m.intersect(m.units)
+			if len(m.units) == 0 {
+				break
+			}
+			for i := range m.units {
+				m.units[i].score = m.scorer.Influence(m.units[i].pred)
+			}
+		}
+		genBest := math.Inf(-1)
+		for _, u := range m.units {
+			if u.score > genBest {
+				genBest = u.score
+			}
+			if u.score > global.Score {
+				global = partition.Candidate{Pred: u.pred, Score: u.score}
+				haveGlobal = true
+			}
+		}
+		// Line 10: prune units whose optimistic bounds cannot reach this
+		// generation's best.
+		m.units = m.prune(m.units, genBest)
+		// Line 11: merge adjacent same-subspace units.
+		cands := make([]partition.Candidate, len(m.units))
+		for i, u := range m.units {
+			cands[i] = partition.Candidate{Pred: u.pred, Score: u.score}
+		}
+		merged := merger.Merge(cands)
+		res.Candidates = mergeCandidateLists(res.Candidates, merged)
+		for _, c := range merged {
+			if c.Score > global.Score {
+				global = c
+				haveGlobal = true
+			}
+		}
+		// Line 12: keep merged predicates that beat the previous best.
+		var winners []partition.Candidate
+		for _, c := range merged {
+			if c.Score > prevBest {
+				winners = append(winners, c)
+			}
+		}
+		res.Iterations = iter + 1
+		if len(winners) == 0 {
+			break
+		}
+		// Line 15: retain units contained in some winner.
+		winnerRows := make([]*relation.RowSet, len(winners))
+		for i, w := range winners {
+			winnerRows[i] = w.Pred.Eval(m.task.Table, m.gO)
+		}
+		var kept []unit
+		for _, u := range m.units {
+			for _, wr := range winnerRows {
+				if u.rows.SubsetOf(wr) {
+					kept = append(kept, u)
+					break
+				}
+			}
+		}
+		m.units = kept
+		// Line 16: update best.
+		if top, ok := partition.Top(winners); ok && top.Score > prevBest {
+			prevBest = top.Score
+		}
+	}
+	if !haveGlobal {
+		return nil, fmt.Errorf("mc: search produced no candidates")
+	}
+	res.Best = global
+	res.Candidates = mergeCandidateLists(res.Candidates, []partition.Candidate{global})
+	partition.SortByScore(res.Candidates)
+	res.Candidates = partition.Dedupe(res.Candidates)
+	return res, nil
+}
+
+// prune drops units whose optimistic bounds cannot beat the generation's
+// best score (see package comment). Both bounds are unweighted (no λ, no
+// hold-out penalty), making them true upper bounds of the objective.
+func (m *runner) prune(units []unit, bestScore float64) []unit {
+	if math.IsInf(bestScore, -1) {
+		return units
+	}
+	var kept []unit
+	for _, u := range units {
+		if m.scorer.InfluenceOutliersOnly(u.pred) >= bestScore {
+			kept = append(kept, u)
+			continue
+		}
+		maxTuple := math.Inf(-1)
+		u.rows.ForEach(func(r int) {
+			if v := m.tupleInf[r]; v > maxTuple {
+				maxTuple = v
+			}
+		})
+		if maxTuple >= bestScore {
+			kept = append(kept, u)
+		}
+	}
+	return kept
+}
+
+// intersect performs the apriori join: pairs of k-dim units sharing k−1
+// attributes produce (k+1)-dim units. Row sets compose by AND, so no fresh
+// table scans are needed.
+func (m *runner) intersect(units []unit) []unit {
+	seen := make(map[string]bool)
+	var out []unit
+	for i := 0; i < len(units); i++ {
+		for j := i + 1; j < len(units); j++ {
+			a, b := units[i], units[j]
+			if a.dims != b.dims || sharedAttrs(a.pred, b.pred) != a.dims-1 {
+				continue
+			}
+			p, ok := a.pred.Intersect(b.pred)
+			if !ok || p.NumClauses() != a.dims+1 {
+				continue
+			}
+			key := p.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			rows := a.rows.Intersect(b.rows)
+			if rows.IsEmpty() {
+				continue
+			}
+			out = append(out, unit{pred: p, rows: rows, dims: a.dims + 1})
+			if len(out) >= m.params.MaxUnits {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// sharedAttrs counts attributes constrained by both predicates.
+func sharedAttrs(a, b predicate.Predicate) int {
+	n := 0
+	for _, c := range a.Clauses() {
+		if _, ok := b.ClauseOn(c.Col); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeCandidateLists concatenates and dedupes candidate lists.
+func mergeCandidateLists(a, b []partition.Candidate) []partition.Candidate {
+	out := append(a, b...)
+	partition.SortByScore(out)
+	return partition.Dedupe(out)
+}

@@ -1,0 +1,77 @@
+package naive
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/aggregate"
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/query"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+type discreteFixture struct {
+	task  *influence.Task
+	space *predicate.Space
+}
+
+// buildDiscreteTask builds a table whose outlier group's anomaly is fully
+// explained by the discrete attribute src = 'bad'.
+func buildDiscreteTask(t testing.TB) discreteFixture {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "g", Kind: relation.Discrete},
+		relation.Column{Name: "src", Kind: relation.Discrete},
+		relation.Column{Name: "v", Kind: relation.Continuous},
+	)
+	b := relation.NewBuilder(schema)
+	srcs := []string{"good1", "good2", "bad"}
+	for i := 0; i < 60; i++ {
+		src := srcs[i%3]
+		v := 10.0 + float64(i%5)
+		if src == "bad" {
+			v = 100 + float64(i%5)
+		}
+		b.MustAppend(relation.Row{relation.S("out"), relation.S(src), relation.F(v)})
+	}
+	for i := 0; i < 60; i++ {
+		// Hold-out group: 'bad' behaves normally here.
+		b.MustAppend(relation.Row{relation.S("hold"), relation.S(srcs[i%3]), relation.F(10 + float64(i%5))})
+	}
+	tbl := b.Build()
+
+	q, err := query.FromSQL(tbl, "SELECT avg(v), g FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := res.Lookup("out")
+	if !ok {
+		t.Fatal("missing group out")
+	}
+	hold, ok := res.Lookup("hold")
+	if !ok {
+		t.Fatal("missing group hold")
+	}
+	task := &influence.Task{
+		Table:    tbl,
+		Agg:      aggregate.Avg{},
+		AggCol:   tbl.Schema().MustIndex("v"),
+		Outliers: []influence.Group{{Key: "out", Rows: out.Group, Direction: influence.TooHigh}},
+		HoldOuts: []influence.Group{{Key: "hold", Rows: hold.Group}},
+		Lambda:   0.5,
+		C:        1,
+	}
+	space, err := predicate.NewSpace(tbl, []string{"src"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return discreteFixture{task: task, space: space}
+}
+
+// Ensure fmt is referenced (kept for debugging helpers).
+var _ = fmt.Sprintf

@@ -1,0 +1,305 @@
+// Package naive implements Scorpion's exhaustive NAIVE partitioner (§4.2),
+// with the §8.2 modifications: predicates are enumerated in increasing
+// complexity (max discrete-clause size, then number of clauses), the search
+// respects a wall-clock deadline, and the best predicate found so far is
+// recorded over time so convergence curves (Figure 11) can be reproduced.
+//
+// NAIVE makes no assumptions about the aggregate, so it is the fallback for
+// black-box user-defined aggregates.
+package naive
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// Params configures the NAIVE search.
+type Params struct {
+	// Bins is the number of equi-width ranges per continuous attribute
+	// (the paper uses 15).
+	Bins int
+	// MaxClauses caps the number of attributes per predicate; 0 = all.
+	MaxClauses int
+	// MaxDiscreteSubset caps discrete clause sizes; 0 = attribute cardinality.
+	MaxDiscreteSubset int
+	// Deadline bounds the wall-clock search time; 0 = unbounded.
+	Deadline time.Duration
+	// TopK is how many of the best candidates to retain (default 10).
+	TopK int
+}
+
+// withDefaults fills zero fields with paper defaults.
+func (p Params) withDefaults() Params {
+	if p.Bins <= 0 {
+		p.Bins = 15
+	}
+	if p.TopK <= 0 {
+		p.TopK = 10
+	}
+	return p
+}
+
+// TracePoint records a best-so-far improvement during the search.
+type TracePoint struct {
+	Elapsed time.Duration
+	Score   float64
+	Pred    predicate.Predicate
+}
+
+// Result is the outcome of a NAIVE search.
+type Result struct {
+	// Best is the most influential predicate found.
+	Best partition.Candidate
+	// TopK holds the best candidates in descending score order.
+	TopK []partition.Candidate
+	// Trace records every improvement with its wall-clock offset.
+	Trace []TracePoint
+	// Enumerated counts scored predicates.
+	Enumerated int64
+	// TimedOut reports whether the deadline cut the search short.
+	TimedOut bool
+}
+
+// Run exhaustively searches the predicate space over the given attributes.
+//
+// Clause domains are derived from the union of the outlier input groups
+// (g_O): a predicate that matches no outlier tuple cannot have positive
+// influence, so values appearing only outside g_O are not enumerated.
+func Run(scorer *influence.Scorer, space *predicate.Space, params Params) (*Result, error) {
+	params = params.withDefaults()
+	task := scorer.Task()
+
+	outRows := unionRows(task)
+	clauseSets, maxCard, err := buildClauseSets(space, task.Table, outRows, params)
+	if err != nil {
+		return nil, err
+	}
+	if params.MaxDiscreteSubset > 0 && params.MaxDiscreteSubset < maxCard {
+		maxCard = params.MaxDiscreteSubset
+	}
+	if maxCard < 1 {
+		maxCard = 1
+	}
+	maxClauses := len(clauseSets)
+	if params.MaxClauses > 0 && params.MaxClauses < maxClauses {
+		maxClauses = params.MaxClauses
+	}
+
+	e := &enumerator{
+		scorer:  scorer,
+		params:  params,
+		start:   time.Now(),
+		sets:    clauseSets,
+		res:     &Result{},
+		checkAt: 64,
+	}
+	// Increasing complexity: discrete subset size first, then clause count.
+	for size := 1; size <= maxCard && !e.done; size++ {
+		for nAttrs := 1; nAttrs <= maxClauses && !e.done; nAttrs++ {
+			e.enumerate(0, nAttrs, size, nil)
+		}
+	}
+	partition.SortByScore(e.res.TopK)
+	if best, ok := partition.Top(e.res.TopK); ok {
+		e.res.Best = best
+	}
+	return e.res, nil
+}
+
+// unionRows returns g_O, the union of the outlier input groups.
+func unionRows(task *influence.Task) *relation.RowSet {
+	u := relation.NewRowSet(task.Table.NumRows())
+	for _, g := range task.Outliers {
+		u.Or(g.Rows)
+	}
+	return u
+}
+
+// attrClauses holds the clause inventory of one attribute.
+type attrClauses struct {
+	col      int
+	name     string
+	discrete bool
+	// ranges holds all consecutive-bin range clauses (continuous attrs).
+	ranges []predicate.Clause
+	// codes holds the distinct codes present in g_O (discrete attrs).
+	codes []int32
+}
+
+// buildClauseSets computes per-attribute clause inventories and the largest
+// discrete cardinality.
+func buildClauseSets(space *predicate.Space, t *relation.Table, rows *relation.RowSet, params Params) ([]attrClauses, int, error) {
+	var sets []attrClauses
+	maxCard := 1
+	for _, col := range space.Columns() {
+		name := space.Name(col)
+		if space.Kind(col) == relation.Continuous {
+			st := t.FloatStats(col, rows)
+			if st.Count == 0 {
+				continue
+			}
+			ac := attrClauses{col: col, name: name}
+			ac.ranges = binRanges(col, name, st.Min, st.Max, params.Bins)
+			sets = append(sets, ac)
+			continue
+		}
+		codes := t.DistinctCodes(col, rows)
+		if len(codes) == 0 {
+			continue
+		}
+		if len(codes) > maxCard {
+			maxCard = len(codes)
+		}
+		sets = append(sets, attrClauses{col: col, name: name, discrete: true, codes: codes})
+	}
+	if len(sets) == 0 {
+		return nil, 0, fmt.Errorf("naive: no usable attributes in search space")
+	}
+	return sets, maxCard, nil
+}
+
+// binRanges enumerates every run of consecutive equi-width bins over
+// [lo, hi]: bins·(bins+1)/2 clauses. The run that reaches the final bin is
+// upper-inclusive so the domain maximum stays coverable.
+func binRanges(col int, name string, lo, hi float64, bins int) []predicate.Clause {
+	if hi <= lo {
+		return []predicate.Clause{predicate.NewRangeClause(col, name, lo, hi, true)}
+	}
+	width := (hi - lo) / float64(bins)
+	var out []predicate.Clause
+	for i := 0; i < bins; i++ {
+		for j := i; j < bins; j++ {
+			clo := lo + float64(i)*width
+			chi := lo + float64(j+1)*width
+			out = append(out, predicate.NewRangeClause(col, name, clo, chi, j == bins-1))
+		}
+	}
+	return out
+}
+
+// enumerator walks attribute combinations and clause choices.
+type enumerator struct {
+	scorer  *influence.Scorer
+	params  Params
+	start   time.Time
+	sets    []attrClauses
+	res     *Result
+	done    bool
+	checkAt int64
+	// sink, when set, diverts assembled predicates to the caller instead of
+	// scoring them inline (used by RunParallel's producer).
+	sink func(predicate.Predicate)
+}
+
+// enumerate recursively picks nAttrs attributes from sets[from:], assigning
+// every clause choice; size is the current discrete-subset complexity pass.
+func (e *enumerator) enumerate(from, nAttrs, size int, chosen []predicate.Clause) {
+	if e.done {
+		return
+	}
+	if nAttrs == 0 {
+		e.emit(chosen, size)
+		return
+	}
+	for i := from; i+nAttrs <= len(e.sets); i++ {
+		set := e.sets[i]
+		if set.discrete {
+			e.enumerateSubsets(set, size, 1, 0, nil, func(codes []int32) {
+				clause := predicate.NewSetClause(set.col, set.name, codes)
+				e.enumerate(i+1, nAttrs-1, size, append(chosen, clause))
+			})
+		} else {
+			for _, cl := range set.ranges {
+				e.enumerate(i+1, nAttrs-1, size, append(chosen, cl))
+				if e.done {
+					return
+				}
+			}
+		}
+	}
+}
+
+// enumerateSubsets yields all value subsets of sizes [minSize..size].
+func (e *enumerator) enumerateSubsets(set attrClauses, size, minSize, from int, cur []int32, yield func([]int32)) {
+	if e.done {
+		return
+	}
+	if len(cur) >= minSize {
+		yield(cur)
+	}
+	if len(cur) == size {
+		return
+	}
+	for i := from; i < len(set.codes); i++ {
+		e.enumerateSubsets(set, size, minSize, i+1, append(cur, set.codes[i]), yield)
+		if e.done {
+			return
+		}
+	}
+}
+
+// emit scores a fully-assembled predicate, de-duplicating across complexity
+// passes: a predicate is scored only in the pass equal to its largest
+// discrete clause (or pass 1 when it has none).
+func (e *enumerator) emit(clauses []predicate.Clause, size int) {
+	maxDiscrete := 0
+	for _, c := range clauses {
+		if c.Kind == relation.Discrete && len(c.Values) > maxDiscrete {
+			maxDiscrete = len(c.Values)
+		}
+	}
+	complexity := maxDiscrete
+	if complexity == 0 {
+		complexity = 1
+	}
+	if complexity != size {
+		return
+	}
+
+	p := predicate.MustNew(clauses...)
+	if e.sink != nil {
+		e.sink(p)
+		return
+	}
+	score := e.scorer.Influence(p)
+	e.res.Enumerated++
+
+	if len(e.res.Trace) == 0 || score > e.res.Trace[len(e.res.Trace)-1].Score {
+		e.res.Trace = append(e.res.Trace, TracePoint{
+			Elapsed: time.Since(e.start),
+			Score:   score,
+			Pred:    p,
+		})
+	}
+	e.keepTopK(partition.Candidate{Pred: p, Score: score})
+
+	if e.res.Enumerated%e.checkAt == 0 && e.params.Deadline > 0 &&
+		time.Since(e.start) > e.params.Deadline {
+		e.res.TimedOut = true
+		e.done = true
+	}
+}
+
+// keepTopK inserts the candidate into the bounded best list.
+func (e *enumerator) keepTopK(c partition.Candidate) {
+	top := e.res.TopK
+	if len(top) < e.params.TopK {
+		e.res.TopK = append(top, c)
+		return
+	}
+	// Replace the current minimum if the newcomer beats it.
+	minIdx := 0
+	for i := 1; i < len(top); i++ {
+		if top[i].Score < top[minIdx].Score {
+			minIdx = i
+		}
+	}
+	if c.Score > top[minIdx].Score {
+		top[minIdx] = c
+	}
+}

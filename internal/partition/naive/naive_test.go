@@ -1,0 +1,174 @@
+package naive
+
+import (
+	"testing"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/eval"
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/synth"
+)
+
+// smallSetup builds a small 2D Easy dataset with SUM and the given c.
+func smallSetup(t testing.TB, c float64) (*influence.Scorer, *predicate.Space, *synth.Dataset) {
+	t.Helper()
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 150, Groups: 4, OutlierGroups: 2, Mu: 80, Seed: 5,
+	})
+	task, space, err := eval.SynthTask(ds, "sum", 0.5, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorer, err := influence.NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scorer, space, ds
+}
+
+func TestNaiveFindsPlantedCube(t *testing.T) {
+	scorer, space, ds := smallSetup(t, 0.1)
+	res, err := Run(scorer, space, Params{Bins: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Enumerated == 0 {
+		t.Fatal("nothing enumerated")
+	}
+	if res.Best.Score <= 0 {
+		t.Fatalf("best score = %v, want positive", res.Best.Score)
+	}
+	acc := eval.Score(res.Best.Pred, ds.Table, eval.OutlierUnion(scorer.Task()), ds.OuterRows)
+	if acc.F1 < 0.5 {
+		t.Errorf("F1 = %v (prec %v, rec %v), want ≥ 0.5; pred = %v",
+			acc.F1, acc.Precision, acc.Recall, res.Best.Pred)
+	}
+}
+
+func TestNaiveTraceIsMonotone(t *testing.T) {
+	scorer, space, _ := smallSetup(t, 0.1)
+	res, err := Run(scorer, space, Params{Bins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Score <= res.Trace[i-1].Score {
+			t.Fatalf("trace not strictly improving at %d: %v then %v",
+				i, res.Trace[i-1].Score, res.Trace[i].Score)
+		}
+		if res.Trace[i].Elapsed < res.Trace[i-1].Elapsed {
+			t.Fatalf("trace time went backwards at %d", i)
+		}
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if last.Score != res.Best.Score {
+		t.Errorf("final trace score %v != best %v", last.Score, res.Best.Score)
+	}
+}
+
+func TestNaiveDeadline(t *testing.T) {
+	scorer, space, _ := smallSetup(t, 0.5)
+	start := time.Now()
+	res, err := Run(scorer, space, Params{Bins: 40, Deadline: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if !res.TimedOut {
+		t.Skip("search finished before the deadline on this machine")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("deadline ignored: ran %v", elapsed)
+	}
+	// Even a timed-out run must return its best-so-far.
+	if res.Best.Pred.IsTrue() && res.Best.Score == 0 && res.Enumerated == 0 {
+		t.Error("timed-out run returned nothing")
+	}
+}
+
+func TestNaiveTopKOrdering(t *testing.T) {
+	scorer, space, _ := smallSetup(t, 0.1)
+	res, err := Run(scorer, space, Params{Bins: 6, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) == 0 || len(res.TopK) > 5 {
+		t.Fatalf("TopK size = %d", len(res.TopK))
+	}
+	for i := 1; i < len(res.TopK); i++ {
+		if res.TopK[i].Score > res.TopK[i-1].Score {
+			t.Fatalf("TopK not descending at %d", i)
+		}
+	}
+	if res.TopK[0].Score != res.Best.Score {
+		t.Errorf("TopK[0] %v != Best %v", res.TopK[0].Score, res.Best.Score)
+	}
+}
+
+func TestNaiveDiscreteSubsets(t *testing.T) {
+	// Dataset with one discrete attribute whose value "bad" marks outliers.
+	scorerTask := buildDiscreteTask(t)
+	scorer, err := influence.NewScorer(scorerTask.task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(scorer, scorerTask.space, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The best predicate must single out the "bad" source.
+	got := res.Best.Pred.Format(scorerTask.task.Table)
+	if got != "src in ('bad')" {
+		t.Errorf("best predicate = %q, want src in ('bad')", got)
+	}
+}
+
+func TestNaiveMaxClauses(t *testing.T) {
+	scorer, space, _ := smallSetup(t, 0.1)
+	res, err := Run(scorer, space, Params{Bins: 6, MaxClauses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.TopK {
+		if c.Pred.NumClauses() > 1 {
+			t.Fatalf("predicate %v exceeds MaxClauses=1", c.Pred)
+		}
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	scorer, space, _ := smallSetup(t, 0.1)
+	seq, err := Run(scorer, space, Params{Bins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorer2, space2, _ := smallSetup(t, 0.1)
+	par, err := RunParallel(scorer2, space2, Params{Bins: 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Enumerated != seq.Enumerated {
+		t.Errorf("enumerated %d (parallel) vs %d (sequential)", par.Enumerated, seq.Enumerated)
+	}
+	if par.Best.Score < seq.Best.Score-1e-9 {
+		t.Errorf("parallel best %v < sequential best %v", par.Best.Score, seq.Best.Score)
+	}
+	if len(par.Trace) != 0 {
+		t.Error("parallel mode must not record a trace")
+	}
+}
+
+func TestRunParallelSingleWorkerDelegates(t *testing.T) {
+	scorer, space, _ := smallSetup(t, 0.1)
+	res, err := RunParallel(scorer, space, Params{Bins: 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("single-worker parallel run should delegate to Run (with trace)")
+	}
+}

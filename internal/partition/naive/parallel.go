@@ -1,0 +1,146 @@
+package naive
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+)
+
+// RunParallel is Run with the enumeration fanned out over worker
+// goroutines — the parallelism the paper's §8.3.2 leaves to future work.
+// Each worker owns a private Scorer (the Scorer is not safe for concurrent
+// use; per-group state construction is cheap), predicates are streamed in
+// batches, and the per-worker top-k lists are merged at the end.
+//
+// The best-so-far Trace is not recorded in parallel mode (improvement order
+// is non-deterministic across workers); use Run for Figure 11 style
+// convergence curves. Results are otherwise equivalent to Run up to ties.
+func RunParallel(scorer *influence.Scorer, space *predicate.Space, params Params, workers int) (*Result, error) {
+	params = params.withDefaults()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Run(scorer, space, params)
+	}
+	task := scorer.Task()
+
+	outRows := unionRows(task)
+	clauseSets, maxCard, err := buildClauseSets(space, task.Table, outRows, params)
+	if err != nil {
+		return nil, err
+	}
+	if params.MaxDiscreteSubset > 0 && params.MaxDiscreteSubset < maxCard {
+		maxCard = params.MaxDiscreteSubset
+	}
+	if maxCard < 1 {
+		maxCard = 1
+	}
+	maxClauses := len(clauseSets)
+	if params.MaxClauses > 0 && params.MaxClauses < maxClauses {
+		maxClauses = params.MaxClauses
+	}
+
+	const batchSize = 256
+	batches := make(chan []predicate.Predicate, workers*2)
+	results := make([]*workerResult, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		ws, err := influence.NewScorer(task)
+		if err != nil {
+			return nil, err
+		}
+		wr := &workerResult{}
+		results[wi] = wr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for batch := range batches {
+				for _, p := range batch {
+					wr.consider(partition.Candidate{Pred: p, Score: ws.Influence(p)}, params.TopK)
+					wr.enumerated++
+				}
+			}
+		}()
+	}
+
+	// Producer: reuse the sequential enumerator but divert emissions into
+	// batches instead of scoring inline.
+	prod := &enumerator{
+		scorer:  scorer,
+		params:  params,
+		start:   time.Now(),
+		sets:    clauseSets,
+		res:     &Result{},
+		checkAt: 64,
+	}
+	var batch []predicate.Predicate
+	flush := func() {
+		if len(batch) > 0 {
+			batches <- batch
+			batch = nil
+		}
+	}
+	prod.sink = func(p predicate.Predicate) {
+		batch = append(batch, p)
+		if len(batch) >= batchSize {
+			flush()
+		}
+		if params.Deadline > 0 && prod.res.Enumerated%int64(batchSize) == 0 &&
+			time.Since(prod.start) > params.Deadline {
+			prod.res.TimedOut = true
+			prod.done = true
+		}
+		prod.res.Enumerated++
+	}
+	for size := 1; size <= maxCard && !prod.done; size++ {
+		for nAttrs := 1; nAttrs <= maxClauses && !prod.done; nAttrs++ {
+			prod.enumerate(0, nAttrs, size, nil)
+		}
+	}
+	flush()
+	close(batches)
+	wg.Wait()
+
+	// Merge worker results.
+	out := &Result{TimedOut: prod.res.TimedOut}
+	for _, wr := range results {
+		out.TopK = append(out.TopK, wr.top...)
+		out.Enumerated += wr.enumerated
+	}
+	partition.SortByScore(out.TopK)
+	out.TopK = partition.Dedupe(out.TopK)
+	if len(out.TopK) > params.TopK {
+		out.TopK = out.TopK[:params.TopK]
+	}
+	if best, ok := partition.Top(out.TopK); ok {
+		out.Best = best
+	}
+	return out, nil
+}
+
+// workerResult accumulates one worker's best candidates.
+type workerResult struct {
+	top        []partition.Candidate
+	enumerated int64
+}
+
+func (w *workerResult) consider(c partition.Candidate, topK int) {
+	if len(w.top) < topK {
+		w.top = append(w.top, c)
+		return
+	}
+	minIdx := 0
+	for i := 1; i < len(w.top); i++ {
+		if w.top[i].Score < w.top[minIdx].Score {
+			minIdx = i
+		}
+	}
+	if c.Score > w.top[minIdx].Score {
+		w.top[minIdx] = c
+	}
+}

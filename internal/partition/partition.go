@@ -1,0 +1,73 @@
+// Package partition defines the common currency between Scorpion's
+// partitioning algorithms (NAIVE §4.2, DT §6.1, MC §6.2) and the Merger
+// (§4.3/§6.3): scored candidate predicates.
+package partition
+
+import (
+	"sort"
+
+	"github.com/scorpiondb/scorpion/internal/predicate"
+)
+
+// Candidate is a predicate produced by a partitioner, tagged with its
+// estimated influence and, for DT partitions, the statistics the Merger's
+// cached-tuple approximation needs (§6.3).
+type Candidate struct {
+	// Pred is the candidate explanation predicate.
+	Pred predicate.Predicate
+	// Score is the (estimated) influence inf(O, H, p, V).
+	Score float64
+	// GroupCards estimates |p(g_o)| per outlier group (DT only; nil
+	// otherwise). Estimated from samples when sampling is enabled.
+	GroupCards []float64
+	// CachedRows holds, per outlier group, the row whose influence is
+	// closest to the partition's mean influence in that group, or -1.
+	// (DT only; nil otherwise.)
+	CachedRows []int
+	// MeanInfluences holds the per-group mean tuple influence (DT only).
+	MeanInfluences []float64
+	// HoldPenalty is max_h |inf(h, p)| at scoring time; the Merger's
+	// cached-tuple approximation reuses it for merged predicates.
+	HoldPenalty float64
+	// InfluencesHoldOut marks partitions that overlap an influential
+	// hold-out partition after the §6.1.4 combine step.
+	InfluencesHoldOut bool
+}
+
+// SortByScore orders candidates by descending score (stable).
+func SortByScore(cands []Candidate) {
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+}
+
+// Dedupe removes candidates with duplicate canonical predicates, keeping the
+// highest-scored instance. Input order is otherwise preserved.
+func Dedupe(cands []Candidate) []Candidate {
+	best := make(map[string]int, len(cands))
+	out := cands[:0]
+	for _, c := range cands {
+		key := c.Pred.Key()
+		if i, ok := best[key]; ok {
+			if c.Score > out[i].Score {
+				out[i] = c
+			}
+			continue
+		}
+		best[key] = len(out)
+		out = append(out, c)
+	}
+	return out
+}
+
+// Top returns the best-scored candidate, or false when empty.
+func Top(cands []Candidate) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Score > best.Score {
+			best = c
+		}
+	}
+	return best, true
+}

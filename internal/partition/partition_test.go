@@ -1,0 +1,52 @@
+package partition
+
+import (
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/predicate"
+)
+
+func pred(lo, hi float64) predicate.Predicate {
+	return predicate.MustNew(predicate.NewRangeClause(0, "x", lo, hi, false))
+}
+
+func TestSortByScore(t *testing.T) {
+	cands := []Candidate{
+		{Pred: pred(0, 1), Score: 1},
+		{Pred: pred(1, 2), Score: 3},
+		{Pred: pred(2, 3), Score: 2},
+	}
+	SortByScore(cands)
+	if cands[0].Score != 3 || cands[1].Score != 2 || cands[2].Score != 1 {
+		t.Errorf("sorted scores = %v,%v,%v", cands[0].Score, cands[1].Score, cands[2].Score)
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	cands := []Candidate{
+		{Pred: pred(0, 1), Score: 1},
+		{Pred: pred(0, 1), Score: 5}, // duplicate, higher score wins
+		{Pred: pred(1, 2), Score: 2},
+	}
+	out := Dedupe(cands)
+	if len(out) != 2 {
+		t.Fatalf("deduped length = %d, want 2", len(out))
+	}
+	if out[0].Score != 5 {
+		t.Errorf("duplicate kept score %v, want 5", out[0].Score)
+	}
+}
+
+func TestTop(t *testing.T) {
+	if _, ok := Top(nil); ok {
+		t.Error("Top(nil) should report false")
+	}
+	best, ok := Top([]Candidate{
+		{Pred: pred(0, 1), Score: -1},
+		{Pred: pred(1, 2), Score: 4},
+		{Pred: pred(2, 3), Score: 2},
+	})
+	if !ok || best.Score != 4 {
+		t.Errorf("Top = %v, %v", best, ok)
+	}
+}

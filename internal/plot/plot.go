@@ -1,0 +1,160 @@
+// Package plot renders aggregate query results as ASCII charts for the CLI
+// — a terminal stand-in for the visualization front-end of the paper's
+// Figure 2 tool, with outlier and hold-out results marked so the user can
+// see what they flagged.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Point is one aggregate result to plot.
+type Point struct {
+	Label string
+	Value float64
+	// Mark distinguishes flagged points: "" (plain), "outlier", "holdout".
+	Mark string
+}
+
+// Options controls chart geometry.
+type Options struct {
+	// Width is the bar area width in characters (default 48).
+	Width int
+	// MaxRows caps the number of rendered rows; the rest are elided from
+	// the middle (default unlimited).
+	MaxRows int
+}
+
+// glyph returns the bar glyph for a mark.
+func glyph(mark string) string {
+	switch mark {
+	case "outlier":
+		return "█"
+	case "holdout":
+		return "▒"
+	default:
+		return "░"
+	}
+}
+
+// suffix returns the row annotation for a mark.
+func suffix(mark string) string {
+	switch mark {
+	case "outlier":
+		return "  <- outlier"
+	case "holdout":
+		return ""
+	default:
+		return ""
+	}
+}
+
+// Render writes a horizontal bar chart. Values may be negative; bars grow
+// from a shared zero axis. NaN/Inf values render as "n/a".
+func Render(w io.Writer, points []Point, opts Options) {
+	if w == nil || len(points) == 0 {
+		return
+	}
+	if opts.Width <= 0 {
+		opts.Width = 48
+	}
+
+	lo, hi := 0.0, 0.0
+	labelWidth := 0
+	for _, p := range points {
+		if len(p.Label) > labelWidth {
+			labelWidth = len(p.Label)
+		}
+		if math.IsNaN(p.Value) || math.IsInf(p.Value, 0) {
+			continue
+		}
+		if p.Value < lo {
+			lo = p.Value
+		}
+		if p.Value > hi {
+			hi = p.Value
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	scale := float64(opts.Width) / span
+	zero := int(math.Round((0 - lo) * scale))
+
+	rows := selectRows(points, opts.MaxRows)
+	for _, idx := range rows {
+		if idx < 0 {
+			fmt.Fprintf(w, "%*s  ...\n", labelWidth, "")
+			continue
+		}
+		p := points[idx]
+		if math.IsNaN(p.Value) || math.IsInf(p.Value, 0) {
+			fmt.Fprintf(w, "%*s  n/a\n", labelWidth, p.Label)
+			continue
+		}
+		pos := int(math.Round((p.Value - lo) * scale))
+		var bar string
+		if pos >= zero {
+			bar = strings.Repeat(" ", zero) + strings.Repeat(glyph(p.Mark), maxInt(pos-zero, 1))
+		} else {
+			bar = strings.Repeat(" ", pos) + strings.Repeat(glyph(p.Mark), zero-pos)
+		}
+		fmt.Fprintf(w, "%*s  %-*s %12.4g%s\n",
+			labelWidth, p.Label, opts.Width+1, bar, p.Value, suffix(p.Mark))
+	}
+}
+
+// selectRows returns the point indexes to draw, eliding the middle when the
+// list exceeds maxRows. A -1 index marks the ellipsis row.
+func selectRows(points []Point, maxRows int) []int {
+	n := len(points)
+	if maxRows <= 0 || n <= maxRows {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Always keep flagged rows; fill the remainder from the ends.
+	keep := make(map[int]bool)
+	for i, p := range points {
+		if p.Mark == "outlier" {
+			keep[i] = true
+		}
+	}
+	budget := maxRows - len(keep)
+	head := budget / 2
+	tail := budget - head
+	for i := 0; i < head && i < n; i++ {
+		keep[i] = true
+	}
+	for i := n - tail; i < n; i++ {
+		if i >= 0 {
+			keep[i] = true
+		}
+	}
+	var out []int
+	prev := -1
+	for i := 0; i < n; i++ {
+		if !keep[i] {
+			continue
+		}
+		if prev >= 0 && i != prev+1 {
+			out = append(out, -1)
+		}
+		out = append(out, i)
+		prev = i
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

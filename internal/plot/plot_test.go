@@ -1,0 +1,95 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var buf bytes.Buffer
+	Render(&buf, []Point{
+		{Label: "11AM", Value: 34.7, Mark: "holdout"},
+		{Label: "12PM", Value: 56.7, Mark: "outlier"},
+		{Label: "1PM", Value: 50.0, Mark: "outlier"},
+	}, Options{Width: 20})
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "<- outlier") {
+		t.Errorf("outlier row missing marker: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "█") || !strings.Contains(lines[0], "▒") {
+		t.Errorf("glyphs missing:\n%s", out)
+	}
+	// Larger value gets a longer bar.
+	if strings.Count(lines[1], "█") <= strings.Count(lines[2], "█") {
+		t.Errorf("bar lengths not ordered:\n%s", out)
+	}
+}
+
+func TestRenderNegativeValues(t *testing.T) {
+	var buf bytes.Buffer
+	Render(&buf, []Point{
+		{Label: "a", Value: -10},
+		{Label: "b", Value: 20},
+	}, Options{Width: 30})
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+	// Both rows render without panicking; the zero axis splits them.
+	if lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n"); len(lines) != 2 {
+		t.Fatalf("lines:\n%s", buf.String())
+	}
+}
+
+func TestRenderNaN(t *testing.T) {
+	var buf bytes.Buffer
+	Render(&buf, []Point{
+		{Label: "ok", Value: 5},
+		{Label: "bad", Value: math.NaN()},
+	}, Options{})
+	if !strings.Contains(buf.String(), "n/a") {
+		t.Errorf("NaN row not marked:\n%s", buf.String())
+	}
+}
+
+func TestRenderElision(t *testing.T) {
+	var points []Point
+	for i := 0; i < 50; i++ {
+		mark := ""
+		if i == 25 {
+			mark = "outlier"
+		}
+		points = append(points, Point{Label: "g", Value: float64(i), Mark: mark})
+	}
+	var buf bytes.Buffer
+	Render(&buf, points, Options{MaxRows: 10})
+	out := buf.String()
+	if !strings.Contains(out, "...") {
+		t.Errorf("no ellipsis in elided output:\n%s", out)
+	}
+	if !strings.Contains(out, "<- outlier") {
+		t.Errorf("flagged row elided:\n%s", out)
+	}
+	if n := strings.Count(out, "\n"); n > 14 {
+		t.Errorf("too many rows after elision: %d", n)
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	Render(nil, []Point{{Label: "x", Value: 1}}, Options{})
+	var buf bytes.Buffer
+	Render(&buf, nil, Options{})
+	if buf.Len() != 0 {
+		t.Error("empty input produced output")
+	}
+	// Constant values (span 0) must not divide by zero.
+	Render(&buf, []Point{{Label: "a", Value: 3}, {Label: "b", Value: 3}}, Options{})
+	if buf.Len() == 0 {
+		t.Error("constant values produced no output")
+	}
+}

@@ -1,0 +1,533 @@
+// Package predicate implements Scorpion's explanation language: conjunctions
+// of range clauses over continuous attributes and set-containment clauses
+// over discrete attributes, with at most one clause per attribute (§3.1 of
+// the paper).
+//
+// Predicates are immutable values. All operations (intersection,
+// bounding-box merge, containment, evaluation) return new predicates or
+// derived data. Discrete clauses hold dictionary codes of one specific base
+// table; a predicate is only meaningful against the table whose dictionaries
+// coded it.
+package predicate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// Clause constrains a single attribute. Exactly one of the range fields
+// (continuous) or Values (discrete) is meaningful, according to Kind.
+//
+// Continuous clauses match Lo <= v < Hi, or Lo <= v <= Hi when HiInc is set.
+// Discrete clauses match rows whose code appears in Values (sorted).
+type Clause struct {
+	Col    int // column index in the base table's schema
+	Name   string
+	Kind   relation.Kind
+	Lo     float64
+	Hi     float64
+	HiInc  bool
+	Values []int32
+}
+
+// NewRangeClause builds a continuous clause. It panics if lo > hi.
+func NewRangeClause(col int, name string, lo, hi float64, hiInc bool) Clause {
+	if lo > hi {
+		panic(fmt.Sprintf("predicate: empty range [%v,%v)", lo, hi))
+	}
+	return Clause{Col: col, Name: name, Kind: relation.Continuous, Lo: lo, Hi: hi, HiInc: hiInc}
+}
+
+// NewSetClause builds a discrete clause over the given codes. The codes are
+// copied, de-duplicated and sorted.
+func NewSetClause(col int, name string, codes []int32) Clause {
+	vs := make([]int32, len(codes))
+	copy(vs, codes)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	// De-duplicate in place.
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return Clause{Col: col, Name: name, Kind: relation.Discrete, Values: out}
+}
+
+// matchFloat reports whether the continuous clause admits v.
+func (c Clause) matchFloat(v float64) bool {
+	if v < c.Lo {
+		return false
+	}
+	if c.HiInc {
+		return v <= c.Hi
+	}
+	return v < c.Hi
+}
+
+// matchCode reports whether the discrete clause admits the code.
+func (c Clause) matchCode(code int32) bool {
+	i := sort.Search(len(c.Values), func(i int) bool { return c.Values[i] >= code })
+	return i < len(c.Values) && c.Values[i] == code
+}
+
+// isEmptyRange reports whether the continuous clause can match nothing.
+func (c Clause) isEmptyRange() bool {
+	return c.Lo > c.Hi || (c.Lo == c.Hi && !c.HiInc)
+}
+
+// containsClause reports whether c admits every value admitted by o
+// (syntactic containment on a single attribute; both clauses must share
+// Col and Kind).
+func (c Clause) containsClause(o Clause) bool {
+	if c.Col != o.Col || c.Kind != o.Kind {
+		return false
+	}
+	if c.Kind == relation.Continuous {
+		if o.Lo < c.Lo {
+			return false
+		}
+		if o.Hi < c.Hi {
+			return true
+		}
+		if o.Hi > c.Hi {
+			return false
+		}
+		return c.HiInc || !o.HiInc
+	}
+	// Discrete: o.Values ⊆ c.Values. Both sorted.
+	i := 0
+	for _, v := range o.Values {
+		for i < len(c.Values) && c.Values[i] < v {
+			i++
+		}
+		if i >= len(c.Values) || c.Values[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Predicate is a conjunction of clauses, at most one per attribute, kept
+// sorted by column index. The zero Predicate has no clauses and matches
+// every row.
+type Predicate struct {
+	clauses []Clause
+}
+
+// True returns the empty predicate, which matches all rows.
+func True() Predicate { return Predicate{} }
+
+// New builds a predicate from clauses. It returns an error if two clauses
+// name the same column.
+func New(clauses ...Clause) (Predicate, error) {
+	cs := make([]Clause, len(clauses))
+	copy(cs, clauses)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Col < cs[j].Col })
+	for i := 1; i < len(cs); i++ {
+		if cs[i].Col == cs[i-1].Col {
+			return Predicate{}, fmt.Errorf("predicate: duplicate clause on column %q", cs[i].Name)
+		}
+	}
+	return Predicate{clauses: cs}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(clauses ...Clause) Predicate {
+	p, err := New(clauses...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Clauses returns the predicate's clauses in column order (shared slice;
+// treat as read-only).
+func (p Predicate) Clauses() []Clause { return p.clauses }
+
+// NumClauses reports the number of clauses.
+func (p Predicate) NumClauses() int { return len(p.clauses) }
+
+// IsTrue reports whether the predicate matches everything (no clauses).
+func (p Predicate) IsTrue() bool { return len(p.clauses) == 0 }
+
+// ClauseOn returns the clause on the given column, if any.
+func (p Predicate) ClauseOn(col int) (Clause, bool) {
+	i := sort.Search(len(p.clauses), func(i int) bool { return p.clauses[i].Col >= col })
+	if i < len(p.clauses) && p.clauses[i].Col == col {
+		return p.clauses[i], true
+	}
+	return Clause{}, false
+}
+
+// Columns returns the column indexes constrained by the predicate, ascending.
+func (p Predicate) Columns() []int {
+	out := make([]int, len(p.clauses))
+	for i, c := range p.clauses {
+		out[i] = c.Col
+	}
+	return out
+}
+
+// Match reports whether row r of table t satisfies the predicate.
+func (p Predicate) Match(t *relation.Table, r int) bool {
+	for _, c := range p.clauses {
+		if c.Kind == relation.Continuous {
+			if !c.matchFloat(t.Floats(c.Col)[r]) {
+				return false
+			}
+		} else {
+			if !c.matchCode(t.Codes(c.Col)[r]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Eval returns the rows of universe (or the whole table when universe is
+// nil) that satisfy the predicate.
+func (p Predicate) Eval(t *relation.Table, universe *relation.RowSet) *relation.RowSet {
+	out := relation.NewRowSet(t.NumRows())
+	if universe == nil {
+		for r := 0; r < t.NumRows(); r++ {
+			if p.Match(t, r) {
+				out.Add(r)
+			}
+		}
+		return out
+	}
+	universe.ForEach(func(r int) {
+		if p.Match(t, r) {
+			out.Add(r)
+		}
+	})
+	return out
+}
+
+// Count returns |p(universe)| without materializing the row set.
+func (p Predicate) Count(t *relation.Table, universe *relation.RowSet) int {
+	n := 0
+	if universe == nil {
+		for r := 0; r < t.NumRows(); r++ {
+			if p.Match(t, r) {
+				n++
+			}
+		}
+		return n
+	}
+	universe.ForEach(func(r int) {
+		if p.Match(t, r) {
+			n++
+		}
+	})
+	return n
+}
+
+// Intersect conjoins two predicates. The second result is false when the
+// intersection is syntactically empty (some shared attribute has
+// incompatible clauses).
+func (p Predicate) Intersect(o Predicate) (Predicate, bool) {
+	out := make([]Clause, 0, len(p.clauses)+len(o.clauses))
+	i, j := 0, 0
+	for i < len(p.clauses) && j < len(o.clauses) {
+		a, b := p.clauses[i], o.clauses[j]
+		switch {
+		case a.Col < b.Col:
+			out = append(out, a)
+			i++
+		case a.Col > b.Col:
+			out = append(out, b)
+			j++
+		default:
+			m, ok := intersectClauses(a, b)
+			if !ok {
+				return Predicate{}, false
+			}
+			out = append(out, m)
+			i++
+			j++
+		}
+	}
+	out = append(out, p.clauses[i:]...)
+	out = append(out, o.clauses[j:]...)
+	return Predicate{clauses: out}, true
+}
+
+func intersectClauses(a, b Clause) (Clause, bool) {
+	if a.Kind != b.Kind {
+		panic(fmt.Sprintf("predicate: kind mismatch on column %q", a.Name))
+	}
+	if a.Kind == relation.Continuous {
+		m := a
+		if b.Lo > m.Lo {
+			m.Lo = b.Lo
+		}
+		if b.Hi < m.Hi {
+			m.Hi, m.HiInc = b.Hi, b.HiInc
+		} else if b.Hi == m.Hi {
+			m.HiInc = m.HiInc && b.HiInc
+		}
+		if m.isEmptyRange() {
+			return Clause{}, false
+		}
+		return m, true
+	}
+	// Discrete: sorted intersection.
+	vals := make([]int32, 0, min(len(a.Values), len(b.Values)))
+	i, j := 0, 0
+	for i < len(a.Values) && j < len(b.Values) {
+		switch {
+		case a.Values[i] < b.Values[j]:
+			i++
+		case a.Values[i] > b.Values[j]:
+			j++
+		default:
+			vals = append(vals, a.Values[i])
+			i++
+			j++
+		}
+	}
+	if len(vals) == 0 {
+		return Clause{}, false
+	}
+	m := a
+	m.Values = vals
+	return m, true
+}
+
+// Merge computes the minimum bounding predicate of p and o (§4.3): ranges
+// take the bounding interval, discrete sets take the union. An attribute
+// constrained by only one of the two is unconstrained in the result, because
+// the other predicate spans that attribute's full domain.
+func (p Predicate) Merge(o Predicate) Predicate {
+	out := make([]Clause, 0, min(len(p.clauses), len(o.clauses)))
+	i, j := 0, 0
+	for i < len(p.clauses) && j < len(o.clauses) {
+		a, b := p.clauses[i], o.clauses[j]
+		switch {
+		case a.Col < b.Col:
+			i++
+		case a.Col > b.Col:
+			j++
+		default:
+			out = append(out, mergeClauses(a, b))
+			i++
+			j++
+		}
+	}
+	return Predicate{clauses: out}
+}
+
+func mergeClauses(a, b Clause) Clause {
+	if a.Kind != b.Kind {
+		panic(fmt.Sprintf("predicate: kind mismatch on column %q", a.Name))
+	}
+	if a.Kind == relation.Continuous {
+		m := a
+		if b.Lo < m.Lo {
+			m.Lo = b.Lo
+		}
+		if b.Hi > m.Hi {
+			m.Hi, m.HiInc = b.Hi, b.HiInc
+		} else if b.Hi == m.Hi {
+			m.HiInc = m.HiInc || b.HiInc
+		}
+		return m
+	}
+	// Discrete: sorted union.
+	vals := make([]int32, 0, len(a.Values)+len(b.Values))
+	i, j := 0, 0
+	for i < len(a.Values) || j < len(b.Values) {
+		switch {
+		case j >= len(b.Values) || (i < len(a.Values) && a.Values[i] < b.Values[j]):
+			vals = append(vals, a.Values[i])
+			i++
+		case i >= len(a.Values) || a.Values[i] > b.Values[j]:
+			vals = append(vals, b.Values[j])
+			j++
+		default:
+			vals = append(vals, a.Values[i])
+			i++
+			j++
+		}
+	}
+	m := a
+	m.Values = vals
+	return m
+}
+
+// Contains reports syntactic containment: every row matched by o is matched
+// by p, provable from the clauses alone. For each clause of p, o must have a
+// clause on the same attribute that p's clause contains. (Attributes p does
+// not constrain are unconstrained, hence contained.)
+func (p Predicate) Contains(o Predicate) bool {
+	for _, pc := range p.clauses {
+		oc, ok := o.ClauseOn(pc.Col)
+		if !ok {
+			return false
+		}
+		if !pc.containsClause(oc) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainedIn implements the paper's p ≺D q relation semantically: p(D) ⊆
+// q(D) over the rows of universe. Unlike Contains, this consults the data.
+func (p Predicate) ContainedIn(q Predicate, t *relation.Table, universe *relation.RowSet) bool {
+	contained := true
+	check := func(r int) {
+		if !contained {
+			return
+		}
+		if p.Match(t, r) && !q.Match(t, r) {
+			contained = false
+		}
+	}
+	if universe == nil {
+		for r := 0; r < t.NumRows() && contained; r++ {
+			check(r)
+		}
+	} else {
+		universe.ForEach(check)
+	}
+	return contained
+}
+
+// Equal reports whether two predicates have identical clauses.
+func (p Predicate) Equal(o Predicate) bool {
+	if len(p.clauses) != len(o.clauses) {
+		return false
+	}
+	for i := range p.clauses {
+		a, b := p.clauses[i], o.clauses[i]
+		if a.Col != b.Col || a.Kind != b.Kind {
+			return false
+		}
+		if a.Kind == relation.Continuous {
+			if a.Lo != b.Lo || a.Hi != b.Hi || a.HiInc != b.HiInc {
+				return false
+			}
+		} else {
+			if len(a.Values) != len(b.Values) {
+				return false
+			}
+			for k := range a.Values {
+				if a.Values[k] != b.Values[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string usable as a map key for de-duplication.
+func (p Predicate) Key() string {
+	var b strings.Builder
+	for _, c := range p.clauses {
+		if c.Kind == relation.Continuous {
+			fmt.Fprintf(&b, "%d:[%g,%g,%v];", c.Col, c.Lo, c.Hi, c.HiInc)
+		} else {
+			fmt.Fprintf(&b, "%d:{", c.Col)
+			for _, v := range c.Values {
+				fmt.Fprintf(&b, "%d,", v)
+			}
+			b.WriteString("};")
+		}
+	}
+	return b.String()
+}
+
+// String renders the predicate with dictionary codes (use Format for
+// human-readable discrete values).
+func (p Predicate) String() string {
+	if p.IsTrue() {
+		return "true"
+	}
+	parts := make([]string, len(p.clauses))
+	for i, c := range p.clauses {
+		if c.Kind == relation.Continuous {
+			hi := "<"
+			if c.HiInc {
+				hi = "<="
+			}
+			parts[i] = fmt.Sprintf("%.4g <= %s %s %.4g", c.Lo, c.Name, hi, c.Hi)
+		} else {
+			vals := make([]string, len(c.Values))
+			for j, v := range c.Values {
+				vals[j] = fmt.Sprintf("#%d", v)
+			}
+			parts[i] = fmt.Sprintf("%s in (%s)", c.Name, strings.Join(vals, ", "))
+		}
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Format renders the predicate with discrete codes resolved through the
+// table's dictionaries.
+func (p Predicate) Format(t *relation.Table) string {
+	if p.IsTrue() {
+		return "true"
+	}
+	parts := make([]string, len(p.clauses))
+	for i, c := range p.clauses {
+		if c.Kind == relation.Continuous {
+			hi := "<"
+			if c.HiInc {
+				hi = "<="
+			}
+			parts[i] = fmt.Sprintf("%.4g <= %s %s %.4g", c.Lo, c.Name, hi, c.Hi)
+		} else {
+			dict := t.Dict(c.Col)
+			vals := make([]string, len(c.Values))
+			for j, v := range c.Values {
+				vals[j] = fmt.Sprintf("'%s'", dict.Value(v))
+			}
+			parts[i] = fmt.Sprintf("%s in (%s)", c.Name, strings.Join(vals, ", "))
+		}
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Volume returns the fraction of the search space the predicate covers,
+// assuming independent uniform attributes: the product over its clauses of
+// (range width / domain width) for continuous and (|values| / cardinality)
+// for discrete attributes. Attributes without clauses contribute 1. Used by
+// the Merger's cached-tuple influence approximation (§6.3).
+func (p Predicate) Volume(space *Space) float64 {
+	v := 1.0
+	for _, c := range p.clauses {
+		d, ok := space.Domain(c.Col)
+		if !ok {
+			continue
+		}
+		if c.Kind == relation.Continuous {
+			w := d.Hi - d.Lo
+			if w <= 0 {
+				continue
+			}
+			frac := (c.Hi - c.Lo) / w
+			v *= math.Max(0, math.Min(1, frac))
+		} else {
+			if d.Card <= 0 {
+				continue
+			}
+			v *= float64(len(c.Values)) / float64(d.Card)
+		}
+	}
+	return v
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,439 @@
+package predicate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// testTable builds a small mixed-kind table:
+//
+//	x (continuous), y (continuous), color (discrete: red, green, blue)
+func testTable(t testing.TB) *relation.Table {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "x", Kind: relation.Continuous},
+		relation.Column{Name: "y", Kind: relation.Continuous},
+		relation.Column{Name: "color", Kind: relation.Discrete},
+	)
+	b := relation.NewBuilder(schema)
+	colors := []string{"red", "green", "blue"}
+	for i := 0; i < 30; i++ {
+		b.MustAppend(relation.Row{
+			relation.F(float64(i)),
+			relation.F(float64(i % 10)),
+			relation.S(colors[i%3]),
+		})
+	}
+	return b.Build()
+}
+
+func TestRangeClauseMatch(t *testing.T) {
+	tbl := testTable(t)
+	p := MustNew(NewRangeClause(0, "x", 5, 10, false))
+	got := p.Eval(tbl, nil).Rows()
+	want := []int{5, 6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Eval rows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Eval rows = %v, want %v", got, want)
+		}
+	}
+	// Inclusive upper bound adds row 10.
+	p = MustNew(NewRangeClause(0, "x", 5, 10, true))
+	if n := p.Count(tbl, nil); n != 6 {
+		t.Fatalf("inclusive Count = %d, want 6", n)
+	}
+}
+
+func TestSetClauseMatch(t *testing.T) {
+	tbl := testTable(t)
+	colorCol := tbl.Schema().MustIndex("color")
+	red, _ := tbl.Dict(colorCol).Lookup("red")
+	p := MustNew(NewSetClause(colorCol, "color", []int32{red}))
+	if n := p.Count(tbl, nil); n != 10 {
+		t.Fatalf("red count = %d, want 10", n)
+	}
+	// Evaluation restricted to a universe.
+	universe := relation.RowSetOf(tbl.NumRows(), 0, 1, 2, 3, 4, 5)
+	if n := p.Count(tbl, universe); n != 2 { // rows 0, 3
+		t.Fatalf("red count in universe = %d, want 2", n)
+	}
+}
+
+func TestSetClauseDeduplicatesAndSorts(t *testing.T) {
+	c := NewSetClause(0, "c", []int32{5, 1, 5, 3, 1})
+	if len(c.Values) != 3 || c.Values[0] != 1 || c.Values[1] != 3 || c.Values[2] != 5 {
+		t.Fatalf("Values = %v, want [1 3 5]", c.Values)
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	tbl := testTable(t)
+	colorCol := tbl.Schema().MustIndex("color")
+	red, _ := tbl.Dict(colorCol).Lookup("red")
+	p := MustNew(
+		NewRangeClause(0, "x", 0, 15, false),
+		NewSetClause(colorCol, "color", []int32{red}),
+	)
+	// x<15 and red: rows 0,3,6,9,12.
+	if n := p.Count(tbl, nil); n != 5 {
+		t.Fatalf("conjunction count = %d, want 5", n)
+	}
+}
+
+func TestNewRejectsDuplicateColumns(t *testing.T) {
+	_, err := New(
+		NewRangeClause(0, "x", 0, 1, false),
+		NewRangeClause(0, "x", 2, 3, false),
+	)
+	if err == nil {
+		t.Fatal("expected duplicate-column error")
+	}
+}
+
+func TestTruePredicate(t *testing.T) {
+	tbl := testTable(t)
+	p := True()
+	if !p.IsTrue() {
+		t.Fatal("True() not IsTrue")
+	}
+	if n := p.Count(tbl, nil); n != tbl.NumRows() {
+		t.Fatalf("True matches %d rows, want %d", n, tbl.NumRows())
+	}
+	if p.String() != "true" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := MustNew(NewRangeClause(0, "x", 0, 10, false))
+	b := MustNew(NewRangeClause(0, "x", 5, 15, true))
+	m, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("intersection reported empty")
+	}
+	c := m.Clauses()[0]
+	if c.Lo != 5 || c.Hi != 10 || c.HiInc {
+		t.Fatalf("intersection = %+v, want [5,10)", c)
+	}
+
+	// Disjoint ranges are empty.
+	c2 := MustNew(NewRangeClause(0, "x", 20, 30, false))
+	if _, ok := a.Intersect(c2); ok {
+		t.Fatal("disjoint intersection reported non-empty")
+	}
+
+	// Different attributes conjoin.
+	d := MustNew(NewRangeClause(1, "y", 0, 5, false))
+	m, ok = a.Intersect(d)
+	if !ok || m.NumClauses() != 2 {
+		t.Fatalf("cross-attribute intersect = %v, %v", m, ok)
+	}
+}
+
+func TestIntersectDiscrete(t *testing.T) {
+	a := MustNew(NewSetClause(2, "color", []int32{0, 1}))
+	b := MustNew(NewSetClause(2, "color", []int32{1, 2}))
+	m, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("intersection reported empty")
+	}
+	if vs := m.Clauses()[0].Values; len(vs) != 1 || vs[0] != 1 {
+		t.Fatalf("values = %v, want [1]", vs)
+	}
+	c := MustNew(NewSetClause(2, "color", []int32{5}))
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("disjoint discrete intersection reported non-empty")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := MustNew(
+		NewRangeClause(0, "x", 0, 10, false),
+		NewRangeClause(1, "y", 2, 4, false),
+	)
+	b := MustNew(
+		NewRangeClause(0, "x", 20, 30, true),
+	)
+	m := a.Merge(b)
+	// y is unconstrained in b, so it must vanish from the merge.
+	if m.NumClauses() != 1 {
+		t.Fatalf("merge clauses = %d, want 1", m.NumClauses())
+	}
+	c := m.Clauses()[0]
+	if c.Lo != 0 || c.Hi != 30 || !c.HiInc {
+		t.Fatalf("merged range = %+v, want [0,30]", c)
+	}
+}
+
+func TestMergeDiscrete(t *testing.T) {
+	a := MustNew(NewSetClause(2, "color", []int32{0, 2}))
+	b := MustNew(NewSetClause(2, "color", []int32{1, 2}))
+	m := a.Merge(b)
+	if vs := m.Clauses()[0].Values; len(vs) != 3 {
+		t.Fatalf("union = %v, want 3 codes", vs)
+	}
+}
+
+func TestContains(t *testing.T) {
+	outer := MustNew(NewRangeClause(0, "x", 0, 100, true))
+	inner := MustNew(
+		NewRangeClause(0, "x", 10, 20, false),
+		NewRangeClause(1, "y", 0, 5, false),
+	)
+	if !outer.Contains(inner) {
+		t.Error("outer should contain inner")
+	}
+	if inner.Contains(outer) {
+		t.Error("inner should not contain outer")
+	}
+	if !True().Contains(outer) {
+		t.Error("true should contain everything")
+	}
+	if outer.Contains(True()) {
+		t.Error("range should not contain true")
+	}
+}
+
+func TestContainsBoundaryInclusivity(t *testing.T) {
+	halfOpen := MustNew(NewRangeClause(0, "x", 0, 10, false))
+	closed := MustNew(NewRangeClause(0, "x", 0, 10, true))
+	if halfOpen.Contains(closed) {
+		t.Error("[0,10) must not contain [0,10]")
+	}
+	if !closed.Contains(halfOpen) {
+		t.Error("[0,10] must contain [0,10)")
+	}
+}
+
+func TestContainedInSemantic(t *testing.T) {
+	tbl := testTable(t)
+	p := MustNew(NewRangeClause(0, "x", 0, 5, false))
+	q := MustNew(NewRangeClause(0, "x", 0, 20, false))
+	if !p.ContainedIn(q, tbl, nil) {
+		t.Error("p ≺D q expected")
+	}
+	if q.ContainedIn(p, tbl, nil) {
+		t.Error("q ≺D p not expected")
+	}
+}
+
+func TestStringAndFormat(t *testing.T) {
+	tbl := testTable(t)
+	colorCol := tbl.Schema().MustIndex("color")
+	red, _ := tbl.Dict(colorCol).Lookup("red")
+	p := MustNew(
+		NewRangeClause(0, "x", 0, 10, false),
+		NewSetClause(colorCol, "color", []int32{red}),
+	)
+	s := p.Format(tbl)
+	if !strings.Contains(s, "x <") || !strings.Contains(s, "'red'") {
+		t.Errorf("Format = %q", s)
+	}
+	if p.Key() == True().Key() {
+		t.Error("distinct predicates share a Key")
+	}
+}
+
+func TestVolume(t *testing.T) {
+	tbl := testTable(t)
+	space, err := NewSpace(tbl, []string{"x", "color"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x spans [0,29]; a [0,14.5] clause covers half. color clause with 1 of 3
+	// values covers a third.
+	colorCol := tbl.Schema().MustIndex("color")
+	p := MustNew(
+		NewRangeClause(0, "x", 0, 14.5, false),
+		NewSetClause(colorCol, "color", []int32{0}),
+	)
+	got := p.Volume(space)
+	want := 0.5 * (1.0 / 3.0)
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Volume = %v, want %v", got, want)
+	}
+	if v := True().Volume(space); v != 1 {
+		t.Errorf("Volume(true) = %v, want 1", v)
+	}
+}
+
+func TestSpace(t *testing.T) {
+	tbl := testTable(t)
+	space, err := NewSpace(tbl, []string{"x", "color"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(space.Columns()) != 2 {
+		t.Fatalf("space columns = %v", space.Columns())
+	}
+	d, ok := space.Domain(0)
+	if !ok || d.Lo != 0 || d.Hi != 29 {
+		t.Errorf("x domain = %+v", d)
+	}
+	colorCol := tbl.Schema().MustIndex("color")
+	d, ok = space.Domain(colorCol)
+	if !ok || d.Card != 3 {
+		t.Errorf("color domain = %+v", d)
+	}
+	fc := space.FullClause(0)
+	if fc.Lo != 0 || fc.Hi != 29 || !fc.HiInc {
+		t.Errorf("FullClause(x) = %+v", fc)
+	}
+	fc = space.FullClause(colorCol)
+	if len(fc.Values) != 3 {
+		t.Errorf("FullClause(color) = %+v", fc)
+	}
+	if _, err := NewSpace(tbl, []string{"missing"}, nil); err == nil {
+		t.Error("expected error for unknown attribute")
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	tbl := testTable(t)
+	space, _ := NewSpace(tbl, []string{"x", "y"}, nil)
+	a := MustNew(NewRangeClause(0, "x", 0, 10, false))
+	b := MustNew(NewRangeClause(0, "x", 10, 20, false))
+	c := MustNew(NewRangeClause(0, "x", 25, 30, false))
+	if !space.Adjacent(a, b, 1e-9) {
+		t.Error("touching ranges should be adjacent")
+	}
+	if space.Adjacent(a, c, 1e-9) {
+		t.Error("separated ranges should not be adjacent")
+	}
+	// Different attributes are always adjacent (each spans the other's dim).
+	d := MustNew(NewRangeClause(1, "y", 0, 1, false))
+	if !space.Adjacent(a, d, 1e-9) {
+		t.Error("cross-attribute predicates should be adjacent")
+	}
+}
+
+// randomPredicate builds a random predicate over testTable's attributes.
+func randomPredicate(rng *rand.Rand) Predicate {
+	var clauses []Clause
+	if rng.Intn(2) == 0 {
+		lo := rng.Float64() * 25
+		hi := lo + rng.Float64()*10
+		clauses = append(clauses, NewRangeClause(0, "x", lo, hi, rng.Intn(2) == 0))
+	}
+	if rng.Intn(2) == 0 {
+		lo := rng.Float64() * 8
+		hi := lo + rng.Float64()*3
+		clauses = append(clauses, NewRangeClause(1, "y", lo, hi, rng.Intn(2) == 0))
+	}
+	if rng.Intn(2) == 0 {
+		n := 1 + rng.Intn(3)
+		codes := make([]int32, n)
+		for i := range codes {
+			codes[i] = int32(rng.Intn(3))
+		}
+		clauses = append(clauses, NewSetClause(2, "color", codes))
+	}
+	return MustNew(clauses...)
+}
+
+// Property: Merge yields a predicate containing both inputs (syntactically).
+func TestMergeIsUpperBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomPredicate(rng), randomPredicate(rng)
+		m := a.Merge(b)
+		return m.Contains(a) && m.Contains(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intersect result is contained in both inputs, and matches
+// exactly the AND of the row sets.
+func TestIntersectSemanticsProperty(t *testing.T) {
+	tbl := testTable(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomPredicate(rng), randomPredicate(rng)
+		m, ok := a.Intersect(b)
+		want := a.Eval(tbl, nil).Intersect(b.Eval(tbl, nil))
+		if !ok {
+			// Syntactically empty must imply semantically empty.
+			return want.IsEmpty()
+		}
+		if !a.Contains(m) || !b.Contains(m) {
+			return false
+		}
+		return m.Eval(tbl, nil).Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: syntactic containment implies semantic containment.
+func TestContainsImpliesContainedInProperty(t *testing.T) {
+	tbl := testTable(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomPredicate(rng), randomPredicate(rng)
+		if a.Contains(b) && !b.ContainedIn(a, tbl, nil) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Contains is reflexive and transitive on random predicates.
+func TestContainsPartialOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomPredicate(rng), randomPredicate(rng)
+		c := a.Merge(b)
+		if !a.Contains(a) {
+			return false
+		}
+		// c contains a; a contains (a ∩ b) when non-empty — so c contains it.
+		if m, ok := a.Intersect(b); ok {
+			if !a.Contains(m) {
+				return false
+			}
+			if !c.Contains(m) { // transitivity through a
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key is stable across clause insertion order and distinguishes
+// semantically distinct predicates built from the generator.
+func TestKeyCanonicalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPredicate(rng)
+		cs := p.Clauses()
+		if len(cs) < 2 {
+			return true
+		}
+		// Rebuild with reversed clause order.
+		rev := make([]Clause, len(cs))
+		for i := range cs {
+			rev[i] = cs[len(cs)-1-i]
+		}
+		q := MustNew(rev...)
+		return p.Key() == q.Key() && p.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// randomTable builds a random 3-column table (g discrete, f discrete filter
+// column, v continuous).
+func randomTable(rng *rand.Rand) *relation.Table {
+	schema := relation.MustSchema(
+		relation.Column{Name: "g", Kind: relation.Discrete},
+		relation.Column{Name: "f", Kind: relation.Discrete},
+		relation.Column{Name: "v", Kind: relation.Continuous},
+	)
+	b := relation.NewBuilder(schema)
+	n := 1 + rng.Intn(200)
+	for i := 0; i < n; i++ {
+		b.MustAppend(relation.Row{
+			relation.S(fmt.Sprintf("g%d", rng.Intn(5))),
+			relation.S([]string{"x", "y"}[rng.Intn(2)]),
+			relation.F(rng.Float64()*100 - 50),
+		})
+	}
+	return b.Build()
+}
+
+// Property: provenance partitions the (filtered) input — the groups are
+// disjoint and their union is exactly the set of rows passing WHERE.
+func TestProvenancePartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := randomTable(rng)
+		q, err := FromSQL(tbl, "SELECT avg(v), g FROM t WHERE f = 'x' GROUP BY g")
+		if err != nil {
+			return false
+		}
+		res, err := q.Run()
+		if err != nil {
+			return false
+		}
+		union := relation.NewRowSet(tbl.NumRows())
+		total := 0
+		for _, row := range res.Rows {
+			if !row.Group.Intersect(union).IsEmpty() {
+				return false // groups overlap
+			}
+			union.Or(row.Group)
+			total += row.Group.Count()
+		}
+		// Union must equal the filtered rows.
+		fCol := tbl.Schema().MustIndex("f")
+		codes := tbl.Codes(fCol)
+		xCode, ok := tbl.Dict(fCol).Lookup("x")
+		want := relation.NewRowSet(tbl.NumRows())
+		if ok {
+			for r := 0; r < tbl.NumRows(); r++ {
+				if codes[r] == xCode {
+					want.Add(r)
+				}
+			}
+		}
+		return union.Equal(want) && total == want.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SUM over groups equals SUM over the whole (filtered) table.
+func TestGroupSumsAddUpProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := randomTable(rng)
+		q, err := FromSQL(tbl, "SELECT sum(v), g FROM t GROUP BY g")
+		if err != nil {
+			return false
+		}
+		res, err := q.Run()
+		if err != nil {
+			return false
+		}
+		var groupTotal float64
+		for _, row := range res.Rows {
+			groupTotal += row.Value
+		}
+		var grandTotal float64
+		vCol := tbl.Schema().MustIndex("v")
+		for r := 0; r < tbl.NumRows(); r++ {
+			grandTotal += tbl.Float(vCol, r)
+		}
+		diff := groupTotal - grandTotal
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: count(*) per group equals the provenance RowSet cardinality.
+func TestCountMatchesProvenanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := randomTable(rng)
+		q, err := FromSQL(tbl, "SELECT count(*), g FROM t GROUP BY g")
+		if err != nil {
+			return false
+		}
+		res, err := q.Run()
+		if err != nil {
+			return false
+		}
+		for _, row := range res.Rows {
+			if int(row.Value) != row.Group.Count() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package query
+
+import (
+	"fmt"
+
+	"github.com/scorpiondb/scorpion/internal/relation"
+	"github.com/scorpiondb/scorpion/internal/sqlparse"
+)
+
+// CompileWhere lowers a parsed WHERE expression into a row filter over t.
+// A nil expression compiles to a nil filter (match everything).
+//
+// Semantics: range operators (<, <=, >, >=) require a continuous column and
+// a numeric literal. Equality and IN work on both kinds — numerically on
+// continuous columns, by string on discrete columns (a numeric literal is
+// rendered back to text for the comparison).
+func CompileWhere(t *relation.Table, e sqlparse.Expr) (func(row int) bool, error) {
+	if e == nil {
+		return nil, nil
+	}
+	return compileExpr(t, e)
+}
+
+func compileExpr(t *relation.Table, e sqlparse.Expr) (func(int) bool, error) {
+	switch e := e.(type) {
+	case *sqlparse.BinaryExpr:
+		left, err := compileExpr(t, e.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := compileExpr(t, e.Right)
+		if err != nil {
+			return nil, err
+		}
+		if e.Op == "and" {
+			return func(r int) bool { return left(r) && right(r) }, nil
+		}
+		return func(r int) bool { return left(r) || right(r) }, nil
+
+	case *sqlparse.NotExpr:
+		inner, err := compileExpr(t, e.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return func(r int) bool { return !inner(r) }, nil
+
+	case *sqlparse.CompareExpr:
+		return compileCompare(t, e)
+
+	case *sqlparse.InExpr:
+		return compileIn(t, e)
+
+	default:
+		return nil, fmt.Errorf("query: unsupported WHERE node %T", e)
+	}
+}
+
+func litText(l sqlparse.Literal) string {
+	if l.IsNumber {
+		return l.String()
+	}
+	return l.Str
+}
+
+func compileCompare(t *relation.Table, e *sqlparse.CompareExpr) (func(int) bool, error) {
+	col, ok := t.Schema().Index(e.Col)
+	if !ok {
+		return nil, fmt.Errorf("query: no column %q in WHERE", e.Col)
+	}
+	kind := t.Schema().Column(col).Kind
+
+	if kind == relation.Continuous {
+		if !e.Lit.IsNumber {
+			return nil, fmt.Errorf("query: column %q is continuous; literal %s is not numeric", e.Col, e.Lit)
+		}
+		v := e.Lit.Num
+		vals := t.Floats(col)
+		switch e.Op {
+		case "=":
+			return func(r int) bool { return vals[r] == v }, nil
+		case "!=":
+			return func(r int) bool { return vals[r] != v }, nil
+		case "<":
+			return func(r int) bool { return vals[r] < v }, nil
+		case "<=":
+			return func(r int) bool { return vals[r] <= v }, nil
+		case ">":
+			return func(r int) bool { return vals[r] > v }, nil
+		case ">=":
+			return func(r int) bool { return vals[r] >= v }, nil
+		}
+		return nil, fmt.Errorf("query: unsupported operator %q", e.Op)
+	}
+
+	// Discrete column: only equality semantics are defined.
+	switch e.Op {
+	case "=", "!=":
+	default:
+		return nil, fmt.Errorf("query: operator %q requires a continuous column, %q is discrete", e.Op, e.Col)
+	}
+	want := litText(e.Lit)
+	code, found := t.Dict(col).Lookup(want)
+	codes := t.Codes(col)
+	if e.Op == "=" {
+		if !found {
+			return func(int) bool { return false }, nil
+		}
+		return func(r int) bool { return codes[r] == code }, nil
+	}
+	if !found {
+		return func(int) bool { return true }, nil
+	}
+	return func(r int) bool { return codes[r] != code }, nil
+}
+
+func compileIn(t *relation.Table, e *sqlparse.InExpr) (func(int) bool, error) {
+	col, ok := t.Schema().Index(e.Col)
+	if !ok {
+		return nil, fmt.Errorf("query: no column %q in WHERE", e.Col)
+	}
+	if t.Schema().Column(col).Kind == relation.Continuous {
+		want := make(map[float64]bool, len(e.List))
+		for _, l := range e.List {
+			if !l.IsNumber {
+				return nil, fmt.Errorf("query: column %q is continuous; IN list item %s is not numeric", e.Col, l)
+			}
+			want[l.Num] = true
+		}
+		vals := t.Floats(col)
+		return func(r int) bool { return want[vals[r]] }, nil
+	}
+	want := make(map[int32]bool, len(e.List))
+	for _, l := range e.List {
+		if code, found := t.Dict(col).Lookup(litText(l)); found {
+			want[code] = true
+		}
+	}
+	codes := t.Codes(col)
+	return func(r int) bool { return want[codes[r]] }, nil
+}

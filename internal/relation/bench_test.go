@@ -1,0 +1,60 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSet(n int, density float64) *RowSet {
+	rng := rand.New(rand.NewSource(1))
+	s := NewRowSet(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func BenchmarkRowSetAnd(b *testing.B) {
+	x := benchSet(1_000_000, 0.3)
+	y := benchSet(1_000_000, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersect(y)
+	}
+}
+
+func BenchmarkRowSetForEach(b *testing.B) {
+	x := benchSet(1_000_000, 0.1)
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		x.ForEach(func(r int) { sum += r })
+	}
+	_ = sum
+}
+
+func BenchmarkRowSetCount(b *testing.B) {
+	x := benchSet(1_000_000, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Count()
+	}
+}
+
+func BenchmarkBuilderAppend(b *testing.B) {
+	schema := MustSchema(
+		Column{Name: "d", Kind: Discrete},
+		Column{Name: "v", Kind: Continuous},
+	)
+	row := Row{S("abc"), F(1.5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl := NewBuilder(schema)
+		for j := 0; j < 1000; j++ {
+			bl.MustAppend(row)
+		}
+		bl.Build()
+	}
+}

@@ -1,0 +1,121 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVOptions controls CSV decoding.
+type CSVOptions struct {
+	// Kinds forces specific column kinds by name. Columns not listed are
+	// type-inferred: a column is Continuous iff every value parses as a
+	// float64, otherwise Discrete.
+	Kinds map[string]Kind
+	// Comma is the field delimiter; 0 means ','.
+	Comma rune
+}
+
+// ReadCSV decodes a CSV stream with a header row into a Table.
+//
+// Type inference buffers the whole file; Scorpion datasets are in-memory
+// anyway, so this keeps the decoder simple and deterministic.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = false
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: csv has no header row")
+	}
+	header := records[0]
+	body := records[1:]
+
+	kinds := make([]Kind, len(header))
+	for i, name := range header {
+		if k, forced := opts.Kinds[name]; forced {
+			kinds[i] = k
+			continue
+		}
+		kinds[i] = inferKind(body, i)
+	}
+
+	cols := make([]Column, len(header))
+	for i, name := range header {
+		cols[i] = Column{Name: name, Kind: kinds[i]}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+
+	b := NewBuilder(schema)
+	for ln, rec := range body {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation: csv row %d has %d fields, want %d", ln+2, len(rec), len(header))
+		}
+		row := make(Row, len(rec))
+		for i, field := range rec {
+			if kinds[i] == Continuous {
+				v, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: csv row %d column %q: %v", ln+2, header[i], err)
+				}
+				row[i] = F(v)
+			} else {
+				row[i] = S(field)
+			}
+		}
+		if err := b.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// inferKind decides whether column i of the records is continuous.
+func inferKind(records [][]string, i int) Kind {
+	sawValue := false
+	for _, rec := range records {
+		if i >= len(rec) {
+			continue
+		}
+		sawValue = true
+		if _, err := strconv.ParseFloat(rec[i], 64); err != nil {
+			return Discrete
+		}
+	}
+	if !sawValue {
+		return Discrete
+	}
+	return Continuous
+}
+
+// WriteCSV encodes the table (all rows) as CSV with a header row.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return err
+	}
+	rec := make([]string, t.Schema().NumColumns())
+	for r := 0; r < t.NumRows(); r++ {
+		for c := range rec {
+			if t.Schema().Column(c).Kind == Continuous {
+				rec[c] = strconv.FormatFloat(t.Float(c, r), 'g', -1, 64)
+			} else {
+				rec[c] = t.Str(c, r)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

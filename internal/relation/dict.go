@@ -1,0 +1,53 @@
+package relation
+
+// Dict is an order-of-first-appearance dictionary mapping discrete string
+// values to dense int32 codes. Codes are stable for the lifetime of the dict.
+type Dict struct {
+	byVal map[string]int32
+	vals  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byVal: make(map[string]int32)}
+}
+
+// Code returns the code for v, assigning the next free code if v is new.
+func (d *Dict) Code(v string) int32 {
+	if c, ok := d.byVal[v]; ok {
+		return c
+	}
+	c := int32(len(d.vals))
+	d.byVal[v] = c
+	d.vals = append(d.vals, v)
+	return c
+}
+
+// Lookup returns the code for v without inserting.
+func (d *Dict) Lookup(v string) (int32, bool) {
+	c, ok := d.byVal[v]
+	return c, ok
+}
+
+// Value returns the string for a code. It panics on out-of-range codes.
+func (d *Dict) Value(code int32) string { return d.vals[code] }
+
+// Len reports the number of distinct values.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Values returns the dictionary's values in code order (shared slice; treat
+// as read-only).
+func (d *Dict) Values() []string { return d.vals }
+
+// Clone returns an independent copy of the dictionary.
+func (d *Dict) Clone() *Dict {
+	c := &Dict{
+		byVal: make(map[string]int32, len(d.byVal)),
+		vals:  make([]string, len(d.vals)),
+	}
+	copy(c.vals, d.vals)
+	for k, v := range d.byVal {
+		c.byVal[k] = v
+	}
+	return c
+}

@@ -1,0 +1,152 @@
+// Package relation implements the in-memory relational substrate used by
+// Scorpion: typed schemas, columnar tables, row sets (bitmaps), dictionary
+// encoding for discrete attributes, and a CSV codec with type inference.
+//
+// Scorpion's algorithms only distinguish two attribute kinds:
+//
+//   - Continuous attributes hold float64 values and support range clauses.
+//   - Discrete attributes hold dictionary-encoded strings and support
+//     set-containment clauses.
+//
+// Tables are immutable once built (via Builder); algorithms reference subsets
+// of a table through RowSet values instead of copying tuples, which is how
+// backward provenance (output result -> input group) stays cheap.
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies the physical/logical kind of a column.
+type Kind int
+
+const (
+	// Continuous columns store float64 values and admit range predicates.
+	Continuous Kind = iota
+	// Discrete columns store dictionary-encoded strings and admit
+	// set-containment predicates.
+	Discrete
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Continuous:
+		return "continuous"
+	case Discrete:
+		return "discrete"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Column describes a single attribute: its name and kind.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of uniquely named columns.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given columns. Column names must be
+// non-empty and unique (case-sensitive).
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{
+		cols:  make([]Column, len(cols)),
+		index: make(map[string]int, len(cols)),
+	}
+	copy(s.cols, cols)
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relation: column %d has empty name", i)
+		}
+		if _, dup := s.index[c.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate column name %q", c.Name)
+		}
+		if c.Kind != Continuous && c.Kind != Discrete {
+			return nil, fmt.Errorf("relation: column %q has invalid kind %d", c.Name, int(c.Kind))
+		}
+		s.index[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. Intended for tests and
+// static schemas known to be valid.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumColumns reports the number of columns in the schema.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// Column returns the i-th column descriptor.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column descriptors.
+func (s *Schema) Columns() []Column {
+	out := make([]Column, len(s.cols))
+	copy(out, s.cols)
+	return out
+}
+
+// Index returns the position of the named column and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustIndex returns the position of the named column, panicking if absent.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: no column named %q", name))
+	}
+	return i
+}
+
+// Names returns the column names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Equal reports whether two schemas have identical columns in identical order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.cols) != len(o.cols) {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "name:kind, ...".
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", c.Name, c.Kind)
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchemaValid(t *testing.T) {
+	s, err := NewSchema(
+		Column{Name: "temp", Kind: Continuous},
+		Column{Name: "sensor", Kind: Discrete},
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	if got := s.NumColumns(); got != 2 {
+		t.Fatalf("NumColumns = %d, want 2", got)
+	}
+	if i, ok := s.Index("sensor"); !ok || i != 1 {
+		t.Fatalf("Index(sensor) = %d,%v; want 1,true", i, ok)
+	}
+	if _, ok := s.Index("missing"); ok {
+		t.Fatal("Index(missing) unexpectedly found")
+	}
+	if got := s.MustIndex("temp"); got != 0 {
+		t.Fatalf("MustIndex(temp) = %d, want 0", got)
+	}
+}
+
+func TestNewSchemaRejectsDuplicates(t *testing.T) {
+	_, err := NewSchema(
+		Column{Name: "a", Kind: Continuous},
+		Column{Name: "a", Kind: Discrete},
+	)
+	if err == nil {
+		t.Fatal("expected error for duplicate column name")
+	}
+}
+
+func TestNewSchemaRejectsEmptyName(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "", Kind: Continuous}); err == nil {
+		t.Fatal("expected error for empty column name")
+	}
+}
+
+func TestNewSchemaRejectsBadKind(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "x", Kind: Kind(42)}); err == nil {
+		t.Fatal("expected error for invalid kind")
+	}
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	s := MustSchema(Column{Name: "a", Kind: Continuous})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex on missing column did not panic")
+		}
+	}()
+	s.MustIndex("nope")
+}
+
+func TestSchemaEqualAndString(t *testing.T) {
+	a := MustSchema(Column{Name: "x", Kind: Continuous}, Column{Name: "y", Kind: Discrete})
+	b := MustSchema(Column{Name: "x", Kind: Continuous}, Column{Name: "y", Kind: Discrete})
+	c := MustSchema(Column{Name: "x", Kind: Continuous})
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different schemas reported Equal")
+	}
+	if !strings.Contains(a.String(), "x:continuous") || !strings.Contains(a.String(), "y:discrete") {
+		t.Errorf("String() = %q missing columns", a.String())
+	}
+}
+
+func TestSchemaNamesAndColumnsAreCopies(t *testing.T) {
+	s := MustSchema(Column{Name: "x", Kind: Continuous})
+	names := s.Names()
+	names[0] = "mutated"
+	if s.Column(0).Name != "x" {
+		t.Fatal("mutating Names() result affected schema")
+	}
+	cols := s.Columns()
+	cols[0].Name = "mutated"
+	if s.Column(0).Name != "x" {
+		t.Fatal("mutating Columns() result affected schema")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	f := F(3.5)
+	if f.Kind() != Continuous || f.Float() != 3.5 {
+		t.Fatalf("F(3.5) = %v", f)
+	}
+	s := S("abc")
+	if s.Kind() != Discrete || s.Str() != "abc" {
+		t.Fatalf("S(abc) = %v", s)
+	}
+	if f.String() != "3.5" || s.String() != "abc" {
+		t.Fatalf("String() renders: %q %q", f.String(), s.String())
+	}
+}
+
+func TestValueKindPanics(t *testing.T) {
+	t.Run("FloatOnDiscrete", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		_ = S("a").Float()
+	})
+	t.Run("StrOnContinuous", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		_ = F(1).Str()
+	})
+}
+
+func TestDictBasics(t *testing.T) {
+	d := NewDict()
+	a := d.Code("alpha")
+	b := d.Code("beta")
+	if a == b {
+		t.Fatal("distinct values share a code")
+	}
+	if got := d.Code("alpha"); got != a {
+		t.Fatalf("re-coding alpha gave %d, want %d", got, a)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Value(a) != "alpha" || d.Value(b) != "beta" {
+		t.Fatal("Value() round-trip failed")
+	}
+	if c, ok := d.Lookup("beta"); !ok || c != b {
+		t.Fatalf("Lookup(beta) = %d,%v", c, ok)
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Fatal("Lookup(gamma) unexpectedly found")
+	}
+}
+
+func TestDictClone(t *testing.T) {
+	d := NewDict()
+	d.Code("a")
+	c := d.Clone()
+	c.Code("b")
+	if d.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not independent: d=%d c=%d", d.Len(), c.Len())
+	}
+}

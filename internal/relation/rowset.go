@@ -1,0 +1,202 @@
+package relation
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// RowSet is a fixed-universe bitmap over row indices [0, N). It is the unit
+// of provenance: input groups, predicate matches, and samples are all
+// RowSets over the same base table.
+type RowSet struct {
+	n     int
+	words []uint64
+}
+
+// NewRowSet returns an empty set over the universe [0, n).
+func NewRowSet(n int) *RowSet {
+	if n < 0 {
+		panic("relation: negative RowSet universe")
+	}
+	return &RowSet{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FullRowSet returns the set containing every row in [0, n).
+func FullRowSet(n int) *RowSet {
+	s := NewRowSet(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// RowSetOf returns a set over [0, n) containing exactly the given rows.
+func RowSetOf(n int, rows ...int) *RowSet {
+	s := NewRowSet(n)
+	for _, r := range rows {
+		s.Add(r)
+	}
+	return s
+}
+
+// trim clears bits beyond the universe in the last word.
+func (s *RowSet) trim() {
+	if s.n%64 != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (uint64(1) << uint(s.n%64)) - 1
+	}
+}
+
+// Universe reports the size of the universe (not the cardinality).
+func (s *RowSet) Universe() int { return s.n }
+
+// Add inserts row i. It panics if i is outside the universe.
+func (s *RowSet) Add(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("relation: row %d outside universe [0,%d)", i, s.n))
+	}
+	s.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Remove deletes row i if present.
+func (s *RowSet) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Contains reports whether row i is in the set.
+func (s *RowSet) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Count returns the cardinality of the set.
+func (s *RowSet) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether the set has no rows.
+func (s *RowSet) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s *RowSet) Clone() *RowSet {
+	c := &RowSet{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+func (s *RowSet) checkUniverse(o *RowSet) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("relation: RowSet universe mismatch %d != %d", s.n, o.n))
+	}
+}
+
+// And intersects s with o in place and returns s.
+func (s *RowSet) And(o *RowSet) *RowSet {
+	s.checkUniverse(o)
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+	return s
+}
+
+// Or unions o into s in place and returns s.
+func (s *RowSet) Or(o *RowSet) *RowSet {
+	s.checkUniverse(o)
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+	return s
+}
+
+// AndNot removes o's rows from s in place and returns s.
+func (s *RowSet) AndNot(o *RowSet) *RowSet {
+	s.checkUniverse(o)
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+	return s
+}
+
+// Complement flips membership of every row in the universe, in place.
+func (s *RowSet) Complement() *RowSet {
+	for i := range s.words {
+		s.words[i] = ^s.words[i]
+	}
+	s.trim()
+	return s
+}
+
+// Intersect returns a new set with the rows common to s and o.
+func (s *RowSet) Intersect(o *RowSet) *RowSet { return s.Clone().And(o) }
+
+// Union returns a new set with the rows in either s or o.
+func (s *RowSet) Union(o *RowSet) *RowSet { return s.Clone().Or(o) }
+
+// Difference returns a new set with s's rows not in o.
+func (s *RowSet) Difference(o *RowSet) *RowSet { return s.Clone().AndNot(o) }
+
+// Equal reports whether s and o contain the same rows of the same universe.
+func (s *RowSet) Equal(o *RowSet) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every row of s is in o.
+func (s *RowSet) SubsetOf(o *RowSet) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i]&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every row in ascending order.
+func (s *RowSet) ForEach(fn func(row int)) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(base + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// Rows returns the member rows in ascending order.
+func (s *RowSet) Rows() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(r int) { out = append(out, r) })
+	return out
+}
+
+// String renders a small summary, e.g. "RowSet(5/100)".
+func (s *RowSet) String() string {
+	return fmt.Sprintf("RowSet(%d/%d)", s.Count(), s.n)
+}

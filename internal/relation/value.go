@@ -1,0 +1,65 @@
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is a single cell: either a continuous float64 or a discrete string.
+// The zero Value is the continuous value 0.
+type Value struct {
+	kind Kind
+	f    float64
+	s    string
+}
+
+// F wraps a float64 as a continuous Value.
+func F(v float64) Value { return Value{kind: Continuous, f: v} }
+
+// S wraps a string as a discrete Value.
+func S(v string) Value { return Value{kind: Discrete, s: v} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// Float returns the continuous payload. It panics on discrete values so that
+// kind confusion fails loudly in tests rather than corrupting aggregates.
+func (v Value) Float() float64 {
+	if v.kind != Continuous {
+		panic("relation: Float() on discrete value")
+	}
+	return v.f
+}
+
+// Str returns the discrete payload; it panics on continuous values.
+func (v Value) Str() string {
+	if v.kind != Discrete {
+		panic("relation: Str() on continuous value")
+	}
+	return v.s
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	if v.kind == Continuous {
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	}
+	return v.s
+}
+
+// Row is an ordered list of cells matching a schema.
+type Row []Value
+
+// checkAgainst validates a row's arity and per-column kinds against a schema.
+func (r Row) checkAgainst(s *Schema) error {
+	if len(r) != s.NumColumns() {
+		return fmt.Errorf("relation: row has %d values, schema has %d columns", len(r), s.NumColumns())
+	}
+	for i, v := range r {
+		if v.kind != s.Column(i).Kind {
+			return fmt.Errorf("relation: column %q expects %s value, got %s",
+				s.Column(i).Name, s.Column(i).Kind, v.kind)
+		}
+	}
+	return nil
+}

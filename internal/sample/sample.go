@@ -1,0 +1,81 @@
+// Package sample implements the DT partitioner's sampling machinery
+// (§6.1.2 of the paper): the initial uniform sampling rate that catches an
+// influential cluster with high probability, and the influence-weighted
+// stratified rates used when a partition splits.
+package sample
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// InitialRate returns the smallest sampling rate sr such that a uniform
+// sample of sr·n tuples contains at least one member of an influential
+// cluster of fractional size eps with probability ≥ conf:
+//
+//	1 − (1−eps)^(sr·n) ≥ conf  ⇒  sr ≥ ln(1−conf) / (n·ln(1−eps))
+//
+// The result is clamped to (0, 1]. Degenerate inputs (eps ≤ 0, eps ≥ 1,
+// conf ≤ 0, conf ≥ 1, n ≤ 0) fall back to rate 1.
+func InitialRate(n int, eps, conf float64) float64 {
+	if n <= 0 || eps <= 0 || eps >= 1 || conf <= 0 || conf >= 1 {
+		return 1
+	}
+	sr := math.Log(1-conf) / (float64(n) * math.Log(1-eps))
+	if sr >= 1 {
+		return 1
+	}
+	if sr <= 0 {
+		return 1
+	}
+	return sr
+}
+
+// Uniform draws a Bernoulli(rate) sample of set using rng. Rates ≥ 1 return
+// a clone of the whole set. The draw is deterministic for a fixed rng state.
+func Uniform(rng *rand.Rand, set *relation.RowSet, rate float64) *relation.RowSet {
+	if rate >= 1 {
+		return set.Clone()
+	}
+	out := relation.NewRowSet(set.Universe())
+	set.ForEach(func(r int) {
+		if rng.Float64() < rate {
+			out.Add(r)
+		}
+	})
+	return out
+}
+
+// SplitRates computes the §6.1.2 stratified sampling rates for the two
+// children of a split. infLeft and infRight are the summed absolute sample
+// influences falling into each child; sampleSize is |S|; leftSize and
+// rightSize are the (estimated) child populations |D1|, |D2|:
+//
+//	rate_i = inf_i / (inf_1 + inf_2) · |S| / |D_i|
+//
+// When both influence masses are zero the split falls back to proportional
+// rates. Rates are clamped to [minRate, 1].
+func SplitRates(infLeft, infRight float64, sampleSize, leftSize, rightSize int, minRate float64) (float64, float64) {
+	infLeft, infRight = math.Abs(infLeft), math.Abs(infRight)
+	total := infLeft + infRight
+	wl, wr := 0.5, 0.5
+	if total > 0 {
+		wl, wr = infLeft/total, infRight/total
+	}
+	rate := func(w float64, size int) float64 {
+		if size <= 0 {
+			return 1
+		}
+		r := w * float64(sampleSize) / float64(size)
+		if r > 1 {
+			return 1
+		}
+		if r < minRate {
+			return minRate
+		}
+		return r
+	}
+	return rate(wl, leftSize), rate(wr, rightSize)
+}

@@ -1,0 +1,213 @@
+// Package server implements the backend of the paper's end-to-end data
+// exploration tool (§4.1, Figure 2): a JSON-over-HTTP API through which a
+// visualization front-end executes aggregate queries, flags outlier and
+// hold-out results, and receives ranked explanation predicates.
+//
+// Endpoints:
+//
+//	GET  /schema   — the loaded table's columns and kinds
+//	POST /query    — {"sql": ...} → aggregate results with group keys
+//	POST /explain  — an ExplainRequest → ranked explanations
+//
+// The server is stateless beyond the table it serves; one process serves
+// one dataset (matching the paper's per-database workflow).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	scorpion "github.com/scorpiondb/scorpion"
+)
+
+// Server serves Scorpion over HTTP for a single table.
+type Server struct {
+	table *scorpion.Table
+	mux   *http.ServeMux
+	// ExplainTimeout bounds one explanation request (0 = none).
+	ExplainTimeout time.Duration
+}
+
+// New builds a server around the given table.
+func New(table *scorpion.Table) *Server {
+	s := &Server{table: table, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /schema", s.handleSchema)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// columnJSON describes one schema column.
+type columnJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	cols := make([]columnJSON, 0, s.table.Schema().NumColumns())
+	for i := 0; i < s.table.Schema().NumColumns(); i++ {
+		c := s.table.Schema().Column(i)
+		cols = append(cols, columnJSON{Name: c.Name, Kind: c.Kind.String()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns": cols,
+		"rows":    s.table.NumRows(),
+	})
+}
+
+// QueryRequest is the /query input.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// QueryRow is one aggregate result.
+type QueryRow struct {
+	Key       string  `json:"key"`
+	Value     float64 `json:"value"`
+	GroupSize int     `json:"group_size"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	// Reuse the Explain plumbing's query path by running a throwaway
+	// request bind: querying directly through the public API.
+	res, err := scorpion.RunQuery(s.table, req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows := make([]QueryRow, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		rows = append(rows, QueryRow{Key: row.Key, Value: row.Value, GroupSize: row.Group.Count()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rows": rows})
+}
+
+// ExplainRequest is the /explain input.
+type ExplainRequest struct {
+	SQL              string   `json:"sql"`
+	Outliers         []string `json:"outliers"`
+	HoldOuts         []string `json:"holdouts,omitempty"`
+	AllOthersHoldOut bool     `json:"all_others_holdout,omitempty"`
+	Direction        string   `json:"direction,omitempty"` // "high" (default) | "low"
+	Attributes       []string `json:"attributes,omitempty"`
+	C                *float64 `json:"c,omitempty"`
+	Lambda           *float64 `json:"lambda,omitempty"`
+	Algorithm        string   `json:"algorithm,omitempty"` // auto|naive|dt|mc
+	TopK             int      `json:"top_k,omitempty"`
+}
+
+// ExplanationJSON is one ranked explanation.
+type ExplanationJSON struct {
+	Where             string  `json:"where"`
+	Influence         float64 `json:"influence"`
+	Matched           int     `json:"matched_outlier_tuples"`
+	HoldOutPenalty    float64 `json:"holdout_penalty"`
+	InfluencesHoldOut bool    `json:"influences_holdout"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	sreq := &scorpion.Request{
+		Table:            s.table,
+		SQL:              req.SQL,
+		Outliers:         req.Outliers,
+		HoldOuts:         req.HoldOuts,
+		AllOthersHoldOut: req.AllOthersHoldOut,
+		Attributes:       req.Attributes,
+		TopK:             req.TopK,
+	}
+	switch req.Direction {
+	case "", "high":
+		sreq.Direction = scorpion.TooHigh
+	case "low":
+		sreq.Direction = scorpion.TooLow
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad direction %q", req.Direction))
+		return
+	}
+	switch req.Algorithm {
+	case "", "auto":
+		sreq.Algorithm = scorpion.Auto
+	case "naive":
+		sreq.Algorithm = scorpion.Naive
+	case "dt":
+		sreq.Algorithm = scorpion.DT
+	case "mc":
+		sreq.Algorithm = scorpion.MC
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad algorithm %q", req.Algorithm))
+		return
+	}
+	if req.C != nil {
+		sreq.C = *req.C
+	}
+	if req.Lambda != nil {
+		sreq.Lambda = *req.Lambda
+	}
+
+	type outcome struct {
+		res *scorpion.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := scorpion.Explain(sreq)
+		done <- outcome{res, err}
+	}()
+	var out outcome
+	if s.ExplainTimeout > 0 {
+		select {
+		case out = <-done:
+		case <-time.After(s.ExplainTimeout):
+			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("explanation exceeded %s", s.ExplainTimeout))
+			return
+		}
+	} else {
+		out = <-done
+	}
+	if out.err != nil {
+		writeError(w, http.StatusBadRequest, out.err)
+		return
+	}
+
+	explanations := make([]ExplanationJSON, 0, len(out.res.Explanations))
+	for _, e := range out.res.Explanations {
+		explanations = append(explanations, ExplanationJSON{
+			Where:             e.Where,
+			Influence:         e.Influence,
+			Matched:           e.MatchedOutlierTuples,
+			HoldOutPenalty:    e.HoldOutPenalty,
+			InfluencesHoldOut: e.InfluencesHoldOut,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"algorithm":    out.res.Stats.Algorithm.String(),
+		"duration_ms":  out.res.Stats.Duration.Milliseconds(),
+		"scorer_calls": out.res.Stats.ScorerCalls,
+		"explanations": explanations,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	scorpion "github.com/scorpiondb/scorpion"
+)
+
+// testTable builds the running-example sensors table.
+func testTable(t *testing.T) *scorpion.Table {
+	t.Helper()
+	schema, err := scorpion.NewSchema(
+		scorpion.Column{Name: "time", Kind: scorpion.Discrete},
+		scorpion.Column{Name: "sensorid", Kind: scorpion.Discrete},
+		scorpion.Column{Name: "voltage", Kind: scorpion.Continuous},
+		scorpion.Column{Name: "temp", Kind: scorpion.Continuous},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := scorpion.NewBuilder(schema)
+	for _, r := range []scorpion.Row{
+		{scorpion.S("11AM"), scorpion.S("1"), scorpion.F(2.64), scorpion.F(34)},
+		{scorpion.S("11AM"), scorpion.S("2"), scorpion.F(2.65), scorpion.F(35)},
+		{scorpion.S("11AM"), scorpion.S("3"), scorpion.F(2.63), scorpion.F(35)},
+		{scorpion.S("12PM"), scorpion.S("1"), scorpion.F(2.7), scorpion.F(35)},
+		{scorpion.S("12PM"), scorpion.S("2"), scorpion.F(2.7), scorpion.F(35)},
+		{scorpion.S("12PM"), scorpion.S("3"), scorpion.F(2.3), scorpion.F(100)},
+		{scorpion.S("1PM"), scorpion.S("1"), scorpion.F(2.7), scorpion.F(35)},
+		{scorpion.S("1PM"), scorpion.S("2"), scorpion.F(2.7), scorpion.F(35)},
+		{scorpion.S("1PM"), scorpion.S("3"), scorpion.F(2.3), scorpion.F(80)},
+	} {
+		b.MustAppend(r)
+	}
+	return b.Build()
+}
+
+func postJSON(t *testing.T, srv http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(data))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	srv := New(testTable(t))
+	req := httptest.NewRequest("GET", "/schema", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Columns []columnJSON `json:"columns"`
+		Rows    int          `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Columns) != 4 || out.Rows != 9 {
+		t.Errorf("schema = %+v", out)
+	}
+	if out.Columns[0].Name != "time" || out.Columns[0].Kind != "discrete" {
+		t.Errorf("column 0 = %+v", out.Columns[0])
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := New(testTable(t))
+	rec := postJSON(t, srv, "/query", QueryRequest{
+		SQL: "SELECT avg(temp), time FROM sensors GROUP BY time",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Rows []QueryRow `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 3 {
+		t.Fatalf("rows = %+v", out.Rows)
+	}
+	for _, row := range out.Rows {
+		if row.GroupSize != 3 {
+			t.Errorf("group size = %d", row.GroupSize)
+		}
+	}
+}
+
+func TestQueryEndpointBadSQL(t *testing.T) {
+	srv := New(testTable(t))
+	rec := postJSON(t, srv, "/query", QueryRequest{SQL: "not sql"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "error") {
+		t.Errorf("body = %s", rec.Body)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := New(testTable(t))
+	c := 1.0
+	rec := postJSON(t, srv, "/explain", ExplainRequest{
+		SQL:              "SELECT avg(temp), time FROM sensors GROUP BY time",
+		Outliers:         []string{"12PM", "1PM"},
+		AllOthersHoldOut: true,
+		Direction:        "high",
+		C:                &c,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Algorithm    string            `json:"algorithm"`
+		Explanations []ExplanationJSON `json:"explanations"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != "dt" {
+		t.Errorf("algorithm = %s", out.Algorithm)
+	}
+	if len(out.Explanations) == 0 {
+		t.Fatal("no explanations")
+	}
+	top := out.Explanations[0]
+	if !strings.Contains(top.Where, "sensorid in ('3')") &&
+		!strings.Contains(top.Where, "voltage") {
+		t.Errorf("top explanation = %q", top.Where)
+	}
+}
+
+func TestExplainEndpointValidation(t *testing.T) {
+	srv := New(testTable(t))
+	cases := []ExplainRequest{
+		{}, // no SQL
+		{SQL: "SELECT avg(temp), time FROM s GROUP BY time"}, // no outliers
+		{SQL: "SELECT avg(temp), time FROM s GROUP BY time",
+			Outliers: []string{"12PM"}, Direction: "sideways"},
+		{SQL: "SELECT avg(temp), time FROM s GROUP BY time",
+			Outliers: []string{"12PM"}, Algorithm: "quantum"},
+	}
+	for i, req := range cases {
+		rec := postJSON(t, srv, "/explain", req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d", i, rec.Code)
+		}
+	}
+	// Malformed JSON bodies.
+	req := httptest.NewRequest("POST", "/explain", strings.NewReader("{"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d", rec.Code)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv := New(testTable(t))
+	req := httptest.NewRequest("GET", "/explain", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /explain status = %d", rec.Code)
+	}
+}

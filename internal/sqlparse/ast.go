@@ -1,0 +1,122 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SelectStmt is the parsed form of a Scorpion-explainable query: exactly one
+// aggregate over one table with a GROUP BY and an optional WHERE.
+type SelectStmt struct {
+	// Agg is the single aggregate expression in the select list.
+	Agg AggExpr
+	// SelectCols are the non-aggregate select-list columns (conventionally
+	// the group-by columns, echoed for display).
+	SelectCols []string
+	// Table is the FROM table name.
+	Table string
+	// Where is the optional filter; nil when absent.
+	Where Expr
+	// GroupBy lists the grouping columns (non-empty).
+	GroupBy []string
+}
+
+// AggExpr is an aggregate call, e.g. avg(temp) or count(*).
+type AggExpr struct {
+	Name string // lower-cased function name
+	Arg  string // column name, or "*" (count only)
+}
+
+// String renders the statement back to SQL.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	fmt.Fprintf(&b, "%s(%s)", s.Agg.Name, s.Agg.Arg)
+	for _, c := range s.SelectCols {
+		b.WriteString(", ")
+		b.WriteString(c)
+	}
+	fmt.Fprintf(&b, " FROM %s", s.Table)
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where)
+	}
+	fmt.Fprintf(&b, " GROUP BY %s", strings.Join(s.GroupBy, ", "))
+	return b.String()
+}
+
+// Expr is a boolean WHERE expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// BinaryExpr is AND / OR over two boolean sub-expressions.
+type BinaryExpr struct {
+	Op          string // "and" | "or"
+	Left, Right Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+// String implements fmt.Stringer.
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, strings.ToUpper(e.Op), e.Right)
+}
+
+// NotExpr negates a boolean sub-expression.
+type NotExpr struct {
+	Inner Expr
+}
+
+func (*NotExpr) exprNode() {}
+
+// String implements fmt.Stringer.
+func (e *NotExpr) String() string { return fmt.Sprintf("NOT %s", e.Inner) }
+
+// CompareExpr compares a column with a literal: col op literal. Op is one of
+// = != < <= > >=. Literal-op-column input is normalized to this form by the
+// parser (flipping the operator).
+type CompareExpr struct {
+	Col string
+	Op  string
+	Lit Literal
+}
+
+func (*CompareExpr) exprNode() {}
+
+// String implements fmt.Stringer.
+func (e *CompareExpr) String() string {
+	return fmt.Sprintf("%s %s %s", e.Col, e.Op, e.Lit)
+}
+
+// InExpr is a set-containment test: col IN (lit, lit, ...).
+type InExpr struct {
+	Col  string
+	List []Literal
+}
+
+func (*InExpr) exprNode() {}
+
+// String implements fmt.Stringer.
+func (e *InExpr) String() string {
+	parts := make([]string, len(e.List))
+	for i, l := range e.List {
+		parts[i] = l.String()
+	}
+	return fmt.Sprintf("%s IN (%s)", e.Col, strings.Join(parts, ", "))
+}
+
+// Literal is a string or numeric constant.
+type Literal struct {
+	IsNumber bool
+	Num      float64
+	Str      string
+}
+
+// String implements fmt.Stringer.
+func (l Literal) String() string {
+	if l.IsNumber {
+		return fmt.Sprintf("%g", l.Num)
+	}
+	return fmt.Sprintf("'%s'", strings.ReplaceAll(l.Str, "'", "''"))
+}

@@ -1,0 +1,157 @@
+package sqlparse
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer scans SQL text into tokens.
+type lexer struct {
+	src []rune
+	pos int
+}
+
+// Lex tokenizes the input, returning all tokens including a trailing TokEOF.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: []rune(src)}
+	var out []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() (Token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return Token{Kind: TokIdent, Text: string(l.src[start:l.pos]), Pos: start}, nil
+
+	case unicode.IsDigit(c) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(l.src[l.pos+1])):
+		return l.lexNumber(start)
+
+	case c == '-' && l.pos+1 < len(l.src) && (unicode.IsDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '.'):
+		l.pos++
+		return l.lexNumber(start)
+
+	case c == '\'':
+		return l.lexString(start)
+
+	case c == '(' || c == ')' || c == ',' || c == '*':
+		l.pos++
+		return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+
+	case c == '=':
+		l.pos++
+		return Token{Kind: TokSymbol, Text: "=", Pos: start}, nil
+
+	case c == '!':
+		l.pos++
+		if l.peek() != '=' {
+			return Token{}, errorf(start, "unexpected character %q (expected !=)", "!")
+		}
+		l.pos++
+		return Token{Kind: TokSymbol, Text: "!=", Pos: start}, nil
+
+	case c == '<':
+		l.pos++
+		switch l.peek() {
+		case '=':
+			l.pos++
+			return Token{Kind: TokSymbol, Text: "<=", Pos: start}, nil
+		case '>':
+			l.pos++
+			return Token{Kind: TokSymbol, Text: "!=", Pos: start}, nil
+		default:
+			return Token{Kind: TokSymbol, Text: "<", Pos: start}, nil
+		}
+
+	case c == '>':
+		l.pos++
+		if l.peek() == '=' {
+			l.pos++
+			return Token{Kind: TokSymbol, Text: ">=", Pos: start}, nil
+		}
+		return Token{Kind: TokSymbol, Text: ">", Pos: start}, nil
+
+	default:
+		return Token{}, errorf(start, "unexpected character %q", string(c))
+	}
+}
+
+func (l *lexer) lexNumber(start int) (Token, error) {
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsDigit(c):
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+		case (c == 'e' || c == 'E') && !seenExp && l.pos+1 < len(l.src) &&
+			(unicode.IsDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+'):
+			seenExp = true
+			l.pos++ // consume sign or first exponent digit position handled below
+			if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+				// consumed below by the loop increment
+			} else {
+				l.pos-- // plain digit: let the loop advance normally
+			}
+		default:
+			return Token{Kind: TokNumber, Text: string(l.src[start:l.pos]), Pos: start}, nil
+		}
+		l.pos++
+	}
+	return Token{Kind: TokNumber, Text: string(l.src[start:l.pos]), Pos: start}, nil
+}
+
+func (l *lexer) lexString(start int) (Token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteRune('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteRune(c)
+		l.pos++
+	}
+	return Token{}, errorf(start, "unterminated string literal")
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '.'
+}

@@ -1,0 +1,323 @@
+package sqlparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses a Scorpion-explainable SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errorf(p.cur().Pos, "unexpected trailing input %q", p.cur().Text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.i]
+	if t.Kind != TokEOF {
+		p.i++
+	}
+	return t
+}
+
+// acceptKeyword consumes an identifier token matching kw (case-insensitive).
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().Kind == TokIdent && strings.EqualFold(p.cur().Text, kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errorf(p.cur().Pos, "expected %s, got %q", strings.ToUpper(kw), p.cur().Text)
+	}
+	return nil
+}
+
+// acceptSymbol consumes a symbol token with the given text.
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.cur().Kind == TokSymbol && p.cur().Text == sym {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return errorf(p.cur().Pos, "expected %q, got %q", sym, p.cur().Text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().Kind != TokIdent {
+		return "", errorf(p.cur().Pos, "expected identifier, got %q", p.cur().Text)
+	}
+	return p.advance().Text, nil
+}
+
+// reserved keywords that terminate identifier lists.
+func isReserved(s string) bool {
+	switch strings.ToLower(s) {
+	case "select", "from", "where", "group", "by", "and", "or", "not", "in":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	sawAgg := false
+	for {
+		if p.cur().Kind != TokIdent {
+			return nil, errorf(p.cur().Pos, "expected select-list item, got %q", p.cur().Text)
+		}
+		name := p.advance().Text
+		if p.acceptSymbol("(") {
+			// Aggregate call.
+			if sawAgg {
+				return nil, errorf(p.cur().Pos, "only one aggregate is supported")
+			}
+			sawAgg = true
+			var arg string
+			if p.acceptSymbol("*") {
+				arg = "*"
+			} else {
+				a, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				arg = a
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			stmt.Agg = AggExpr{Name: strings.ToLower(name), Arg: arg}
+		} else {
+			if isReserved(name) {
+				return nil, errorf(p.cur().Pos, "unexpected keyword %q in select list", name)
+			}
+			stmt.SelectCols = append(stmt.SelectCols, name)
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if !sawAgg {
+		return nil, errorf(p.cur().Pos, "select list must contain exactly one aggregate")
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = table
+
+	if p.acceptKeyword("where") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+
+	if err := p.expectKeyword("group"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("by"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.GroupBy = append(stmt.GroupBy, col)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+// parseOr parses: and-expr (OR and-expr)*
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parseAnd parses: unary-expr (AND unary-expr)*
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parseUnary parses: NOT unary-expr | ( or-expr ) | comparison
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptKeyword("not") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	if p.acceptSymbol("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+// flip mirrors a comparison operator for literal-op-column normalization.
+func flip(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op // = and != are symmetric
+	}
+}
+
+// parseComparison parses: col op literal | literal op col | col IN (list)
+func (p *parser) parseComparison() (Expr, error) {
+	// Literal-first form.
+	if p.cur().Kind == TokNumber || p.cur().Kind == TokString {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.parseCompareOp()
+		if err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &CompareExpr{Col: col, Op: flip(op), Lit: lit}, nil
+	}
+
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if isReserved(col) {
+		return nil, errorf(p.cur().Pos, "unexpected keyword %q in expression", col)
+	}
+	if p.acceptKeyword("in") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []Literal
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, lit)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Col: col, List: list}, nil
+	}
+	op, err := p.parseCompareOp()
+	if err != nil {
+		return nil, err
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &CompareExpr{Col: col, Op: op, Lit: lit}, nil
+}
+
+func (p *parser) parseCompareOp() (string, error) {
+	if p.cur().Kind != TokSymbol {
+		return "", errorf(p.cur().Pos, "expected comparison operator, got %q", p.cur().Text)
+	}
+	switch p.cur().Text {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return p.advance().Text, nil
+	}
+	return "", errorf(p.cur().Pos, "expected comparison operator, got %q", p.cur().Text)
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	switch p.cur().Kind {
+	case TokNumber:
+		t := p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return Literal{}, errorf(t.Pos, "bad number %q: %v", t.Text, err)
+		}
+		return Literal{IsNumber: true, Num: v}, nil
+	case TokString:
+		t := p.advance()
+		return Literal{Str: t.Text}, nil
+	default:
+		return Literal{}, errorf(p.cur().Pos, "expected literal, got %q", p.cur().Text)
+	}
+}

@@ -1,0 +1,201 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseQ1(t *testing.T) {
+	stmt, err := Parse("SELECT avg(temp), time FROM sensors GROUP BY time")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if stmt.Agg.Name != "avg" || stmt.Agg.Arg != "temp" {
+		t.Errorf("Agg = %+v", stmt.Agg)
+	}
+	if stmt.Table != "sensors" {
+		t.Errorf("Table = %q", stmt.Table)
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0] != "time" {
+		t.Errorf("GroupBy = %v", stmt.GroupBy)
+	}
+	if len(stmt.SelectCols) != 1 || stmt.SelectCols[0] != "time" {
+		t.Errorf("SelectCols = %v", stmt.SelectCols)
+	}
+	if stmt.Where != nil {
+		t.Errorf("Where = %v, want nil", stmt.Where)
+	}
+}
+
+func TestParseExpenseQuery(t *testing.T) {
+	stmt, err := Parse("SELECT sum(disb_amt) FROM expenses WHERE candidate = 'Obama' GROUP BY date")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cmp, ok := stmt.Where.(*CompareExpr)
+	if !ok {
+		t.Fatalf("Where = %T", stmt.Where)
+	}
+	if cmp.Col != "candidate" || cmp.Op != "=" || cmp.Lit.Str != "Obama" {
+		t.Errorf("Where = %+v", cmp)
+	}
+}
+
+func TestParseComplexWhere(t *testing.T) {
+	stmt, err := Parse(`SELECT stddev(temp), hour FROM readings
+		WHERE 5 <= hour AND hour < 20 AND NOT (sensorid IN ('1','2') OR voltage > 2.5)
+		GROUP BY hour`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// Literal-first comparison must be normalized to col-first.
+	and1, ok := stmt.Where.(*BinaryExpr)
+	if !ok || and1.Op != "and" {
+		t.Fatalf("Where = %v", stmt.Where)
+	}
+	// Depth-first leftmost leaf: 5 <= hour → hour >= 5.
+	leftmost := and1.Left.(*BinaryExpr).Left.(*CompareExpr)
+	if leftmost.Col != "hour" || leftmost.Op != ">=" || leftmost.Lit.Num != 5 {
+		t.Errorf("normalized literal-first compare = %+v", leftmost)
+	}
+	// The NOT subtree exists.
+	if _, ok := and1.Right.(*NotExpr); !ok {
+		t.Errorf("right subtree = %T, want *NotExpr", and1.Right)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	stmt, err := Parse("SELECT count(*), day FROM t GROUP BY day")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if stmt.Agg.Name != "count" || stmt.Agg.Arg != "*" {
+		t.Errorf("Agg = %+v", stmt.Agg)
+	}
+}
+
+func TestParseMultipleGroupBy(t *testing.T) {
+	stmt, err := Parse("SELECT sum(x), a, b FROM t GROUP BY a, b")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(stmt.GroupBy) != 2 || stmt.GroupBy[0] != "a" || stmt.GroupBy[1] != "b" {
+		t.Errorf("GroupBy = %v", stmt.GroupBy)
+	}
+}
+
+func TestParseNotEqualVariants(t *testing.T) {
+	for _, q := range []string{
+		"SELECT sum(x) FROM t WHERE a != 5 GROUP BY g",
+		"SELECT sum(x) FROM t WHERE a <> 5 GROUP BY g",
+	} {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		cmp := stmt.Where.(*CompareExpr)
+		if cmp.Op != "!=" {
+			t.Errorf("op = %q, want !=", cmp.Op)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt, err := Parse("SELECT sum(x) FROM t WHERE name = 'O''Brien' GROUP BY g")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cmp := stmt.Where.(*CompareExpr)
+	if cmp.Lit.Str != "O'Brien" {
+		t.Errorf("escaped string = %q", cmp.Lit.Str)
+	}
+}
+
+func TestParseNegativeAndScientificNumbers(t *testing.T) {
+	stmt, err := Parse("SELECT sum(x) FROM t WHERE a > -1.5 AND b < 2e3 GROUP BY g")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	and := stmt.Where.(*BinaryExpr)
+	if got := and.Left.(*CompareExpr).Lit.Num; got != -1.5 {
+		t.Errorf("negative literal = %v", got)
+	}
+	if got := and.Right.(*CompareExpr).Lit.Num; got != 2000 {
+		t.Errorf("scientific literal = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT FROM t GROUP BY g",
+		"SELECT a, b FROM t GROUP BY a", // no aggregate
+		"SELECT sum(x), avg(y) FROM t GROUP BY g",   // two aggregates
+		"SELECT sum(x) FROM t",                      // missing group by
+		"SELECT sum(x) FROM t GROUP g",              // missing BY
+		"SELECT sum(x) FROM t WHERE GROUP BY g",     // empty where
+		"SELECT sum(x) FROM t WHERE a = GROUP BY g", // missing literal
+		"SELECT sum(x) FROM t WHERE a IN () GROUP BY g",
+		"SELECT sum(x) FROM t WHERE 'abc GROUP BY g",   // unterminated string
+		"SELECT sum(x) FROM t GROUP BY g extra",        // trailing tokens
+		"SELECT sum(x FROM t GROUP BY g",               // unclosed paren
+		"SELECT sum(x) FROM t WHERE a ! b GROUP BY g",  // bad operator
+		"SELECT sum(x) FROM t WHERE (a = 1 GROUP BY g", // unclosed where paren
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): expected error", q)
+		}
+	}
+}
+
+func TestStmtStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT avg(temp), time FROM sensors GROUP BY time",
+		"SELECT sum(disb_amt) FROM expenses WHERE candidate = 'Obama' GROUP BY date",
+		"SELECT count(*), d FROM t WHERE a IN ('x', 'y') AND b >= 3 GROUP BY d",
+		"SELECT stddev(v) FROM t WHERE NOT a = 1 OR b != 'z' GROUP BY g",
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		// Rendering must itself re-parse to an identical rendering.
+		again, err := Parse(stmt.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", stmt.String(), err)
+		}
+		if stmt.String() != again.String() {
+			t.Errorf("round trip drifted:\n  first:  %s\n  second: %s", stmt.String(), again.String())
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := Lex("SELECT a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 7 {
+		t.Errorf("positions = %d,%d", toks[0].Pos, toks[1].Pos)
+	}
+	_, err = Lex("a @ b")
+	if err == nil {
+		t.Error("expected lex error for @")
+	}
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Errorf("error type = %T", err)
+	} else if !strings.Contains(pe.Error(), "position 2") {
+		t.Errorf("error = %v", pe)
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}

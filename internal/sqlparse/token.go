@@ -1,0 +1,68 @@
+// Package sqlparse implements a small SQL front-end for the class of queries
+// Scorpion explains (§3.1 of the paper): single-table select-project-group-by
+// queries with one aggregate, e.g.
+//
+//	SELECT avg(temp), time FROM sensors GROUP BY time
+//	SELECT sum(disb_amt) FROM expenses WHERE candidate = 'Obama' GROUP BY date
+//
+// The package provides a lexer, an AST, and a recursive-descent parser. WHERE
+// clauses support comparisons, IN lists, AND/OR/NOT and parentheses.
+package sqlparse
+
+import "fmt"
+
+// TokenKind classifies lexer tokens.
+type TokenKind int
+
+const (
+	// TokEOF marks end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier (column, table, function name).
+	TokIdent
+	// TokNumber is a numeric literal.
+	TokNumber
+	// TokString is a single-quoted string literal.
+	TokString
+	// TokSymbol is punctuation or an operator: ( ) , * = != <> < <= > >=
+	TokSymbol
+)
+
+// String names the kind for error messages.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokSymbol:
+		return "symbol"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is a lexed token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// ParseError reports a syntax error with position context.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sqlparse: position %d: %s", e.Pos, e.Msg)
+}
+
+func errorf(pos int, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

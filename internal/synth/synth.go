@@ -1,0 +1,259 @@
+// Package synth generates the paper's synthetic ground-truth datasets
+// (§8.1): 10 groups of tuples with n uniform dimension attributes in
+// [0,100], where half the groups (the outlier groups) hide two nested
+// hyper-cubes — the outer cube holds medium-valued outliers drawn from
+// N((µ+10)/2, 10) and the inner cube holds high-valued outliers from
+// N(µ, 10); everything else is normal, N(10, 10). µ controls difficulty:
+// Easy = 80, Hard = 30.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// Config parameterizes a synthetic dataset.
+type Config struct {
+	// Dims is the number of dimension attributes A1..An (paper: 2–4).
+	Dims int
+	// TuplesPerGroup is the group size (paper: 2,000).
+	TuplesPerGroup int
+	// Groups is the number of group-by values (paper: 10).
+	Groups int
+	// OutlierGroups is how many groups contain planted outliers (paper: 5).
+	OutlierGroups int
+	// Mu is the high-outlier mean µ (Easy: 80, Hard: 30).
+	Mu float64
+	// NormalStd is the normal tuples' std-dev (paper: 10; one experiment
+	// re-runs with 0).
+	NormalStd float64
+	// OuterFrac is the fraction of a group inside the outer cube (0.25).
+	OuterFrac float64
+	// InnerFrac is the fraction of the outer cube inside the inner (0.25).
+	InnerFrac float64
+	// OuterSide and InnerSide are the cube side lengths (60 and 20,
+	// matching the paper's Figure 8 example).
+	OuterSide, InnerSide float64
+	// AllowNegative disables the default clamping of Av at 0. The paper
+	// runs SUM — "an independent anti-monotonic aggregate" — over this
+	// data, and SUM's anti-monotonicity check (§5.3) requires non-negative
+	// values, so by default the N(10,10) normal draws are truncated at 0.
+	AllowNegative bool
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dims <= 0 {
+		c.Dims = 2
+	}
+	if c.TuplesPerGroup <= 0 {
+		c.TuplesPerGroup = 2000
+	}
+	if c.Groups <= 0 {
+		c.Groups = 10
+	}
+	if c.OutlierGroups <= 0 {
+		c.OutlierGroups = c.Groups / 2
+	}
+	if c.Mu == 0 {
+		c.Mu = 80
+	}
+	if c.NormalStd == 0 {
+		c.NormalStd = 10
+	}
+	if c.OuterFrac <= 0 {
+		c.OuterFrac = 0.25
+	}
+	if c.InnerFrac <= 0 {
+		c.InnerFrac = 0.25
+	}
+	if c.OuterSide <= 0 {
+		c.OuterSide = 60
+	}
+	if c.InnerSide <= 0 {
+		c.InnerSide = 20
+	}
+	return c
+}
+
+// Cube is an axis-aligned hyper-cube [Lo_i, Hi_i] per dimension.
+type Cube struct {
+	Lo, Hi []float64
+}
+
+// Contains reports whether the point lies inside the cube.
+func (c Cube) Contains(pt []float64) bool {
+	for i := range c.Lo {
+		if pt[i] < c.Lo[i] || pt[i] > c.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dataset is a generated table plus its ground truth.
+type Dataset struct {
+	Config Config
+	Table  *relation.Table
+	// Outer and Inner are the planted cubes (Outer contains Inner).
+	Outer, Inner Cube
+	// OuterRows are the rows drawn inside the outer cube of outlier groups
+	// (medium AND high outliers); InnerRows only the high-valued ones.
+	OuterRows, InnerRows *relation.RowSet
+	// OutlierKeys and HoldOutKeys name the group-by values of each class.
+	OutlierKeys, HoldOutKeys []string
+}
+
+// DimName returns the i-th dimension attribute's name, "a1"-based.
+func DimName(i int) string { return fmt.Sprintf("a%d", i+1) }
+
+// DimNames returns all dimension attribute names.
+func (d *Dataset) DimNames() []string {
+	out := make([]string, d.Config.Dims)
+	for i := range out {
+		out[i] = DimName(i)
+	}
+	return out
+}
+
+// Easy generates a SYNTH-<dims>D-Easy dataset (µ=80).
+func Easy(dims, perGroup int, seed int64) *Dataset {
+	return Generate(Config{Dims: dims, TuplesPerGroup: perGroup, Mu: 80, Seed: seed})
+}
+
+// Hard generates a SYNTH-<dims>D-Hard dataset (µ=30).
+func Hard(dims, perGroup int, seed int64) *Dataset {
+	return Generate(Config{Dims: dims, TuplesPerGroup: perGroup, Mu: 30, Seed: seed})
+}
+
+// Generate builds a deterministic synthetic dataset.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cols := make([]relation.Column, 0, cfg.Dims+2)
+	cols = append(cols, relation.Column{Name: "g", Kind: relation.Discrete})
+	cols = append(cols, relation.Column{Name: "v", Kind: relation.Continuous})
+	for i := 0; i < cfg.Dims; i++ {
+		cols = append(cols, relation.Column{Name: DimName(i), Kind: relation.Continuous})
+	}
+	schema := relation.MustSchema(cols...)
+	b := relation.NewBuilder(schema)
+
+	outer, inner := nestedCubes(rng, cfg)
+	total := cfg.Groups * cfg.TuplesPerGroup
+	outerRows := relation.NewRowSet(total)
+	innerRows := relation.NewRowSet(total)
+
+	ds := &Dataset{Config: cfg, Outer: outer, Inner: inner}
+	row := 0
+	pt := make([]float64, cfg.Dims)
+	for g := 0; g < cfg.Groups; g++ {
+		key := fmt.Sprintf("g%02d", g)
+		isOutlier := g < cfg.OutlierGroups
+		if isOutlier {
+			ds.OutlierKeys = append(ds.OutlierKeys, key)
+		} else {
+			ds.HoldOutKeys = append(ds.HoldOutKeys, key)
+		}
+		for i := 0; i < cfg.TuplesPerGroup; i++ {
+			var v float64
+			if isOutlier {
+				u := rng.Float64()
+				switch {
+				case u < cfg.OuterFrac*cfg.InnerFrac:
+					samplePoint(rng, inner, pt)
+					v = gauss(rng, cfg.Mu, 10)
+					innerRows.Add(row)
+					outerRows.Add(row)
+				case u < cfg.OuterFrac:
+					samplePointInShell(rng, outer, inner, pt)
+					v = gauss(rng, (cfg.Mu+10)/2, 10)
+					outerRows.Add(row)
+				default:
+					samplePointOutside(rng, outer, pt)
+					v = gauss(rng, 10, cfg.NormalStd)
+				}
+			} else {
+				uniformPoint(rng, pt)
+				v = gauss(rng, 10, cfg.NormalStd)
+			}
+			if !cfg.AllowNegative && v < 0 {
+				v = 0
+			}
+			r := make(relation.Row, 0, cfg.Dims+2)
+			r = append(r, relation.S(key), relation.F(v))
+			for _, x := range pt {
+				r = append(r, relation.F(x))
+			}
+			b.MustAppend(r)
+			row++
+		}
+	}
+	ds.Table = b.Build()
+	ds.OuterRows = outerRows
+	ds.InnerRows = innerRows
+	return ds
+}
+
+// nestedCubes places a random outer cube in [0,100]^n and a random inner
+// cube nested inside it.
+func nestedCubes(rng *rand.Rand, cfg Config) (Cube, Cube) {
+	outer := Cube{Lo: make([]float64, cfg.Dims), Hi: make([]float64, cfg.Dims)}
+	inner := Cube{Lo: make([]float64, cfg.Dims), Hi: make([]float64, cfg.Dims)}
+	for d := 0; d < cfg.Dims; d++ {
+		oLo := rng.Float64() * (100 - cfg.OuterSide)
+		outer.Lo[d] = oLo
+		outer.Hi[d] = oLo + cfg.OuterSide
+		iLo := oLo + rng.Float64()*(cfg.OuterSide-cfg.InnerSide)
+		inner.Lo[d] = iLo
+		inner.Hi[d] = iLo + cfg.InnerSide
+	}
+	return outer, inner
+}
+
+func uniformPoint(rng *rand.Rand, pt []float64) {
+	for d := range pt {
+		pt[d] = rng.Float64() * 100
+	}
+}
+
+func samplePoint(rng *rand.Rand, c Cube, pt []float64) {
+	for d := range pt {
+		pt[d] = c.Lo[d] + rng.Float64()*(c.Hi[d]-c.Lo[d])
+	}
+}
+
+// samplePointInShell draws uniformly from outer \ inner by rejection; the
+// shell is ≥ 1−(1/3)^n of the outer cube for the default side lengths, so a
+// handful of draws suffice.
+func samplePointInShell(rng *rand.Rand, outer, inner Cube, pt []float64) {
+	for tries := 0; tries < 1000; tries++ {
+		samplePoint(rng, outer, pt)
+		if !inner.Contains(pt) {
+			return
+		}
+	}
+	// Fall back to a face of the outer cube (outside the inner by
+	// construction when sides differ).
+	pt[0] = outer.Lo[0]
+}
+
+// samplePointOutside draws uniformly from [0,100]^n \ outer by rejection.
+func samplePointOutside(rng *rand.Rand, outer Cube, pt []float64) {
+	for tries := 0; tries < 1000; tries++ {
+		uniformPoint(rng, pt)
+		if !outer.Contains(pt) {
+			return
+		}
+	}
+	pt[0] = 0
+}
+
+// gauss draws from N(mean, std).
+func gauss(rng *rand.Rand, mean, std float64) float64 {
+	return mean + rng.NormFloat64()*std
+}

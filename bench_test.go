@@ -11,6 +11,7 @@ package scorpion
 // timings.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"github.com/scorpiondb/scorpion/internal/merge"
 	"github.com/scorpiondb/scorpion/internal/partition"
 	"github.com/scorpiondb/scorpion/internal/partition/dt"
+	"github.com/scorpiondb/scorpion/internal/partition/naive"
 	"github.com/scorpiondb/scorpion/internal/predicate"
 	"github.com/scorpiondb/scorpion/internal/synth"
 )
@@ -196,6 +198,58 @@ func BenchmarkExpenseWorkload(b *testing.B) {
 		}
 	}
 	b.ReportMetric(f1, "bestF1")
+}
+
+// --- Parallel search benches ------------------------------------------
+
+// BenchmarkExplainParallel measures the worker-pool scaling of each search
+// algorithm (Workers = 1, 2, 4, 8) on a fixed synthetic dataset — the perf
+// trajectory baseline recorded in BENCH_parallel.json. NAIVE runs the
+// black-box (median) scorer, DT the incremental AVG path, MC the
+// anti-monotonic SUM path; parallel output is identical to serial, so the
+// benches measure pure scheduling overhead vs. fan-out win.
+func BenchmarkExplainParallel(b *testing.B) {
+	cases := []struct {
+		name string
+		algo scorpionAlgo
+		agg  string
+	}{
+		{"naive", scorpionAlgo{Naive, &naive.Params{Bins: 8}}, "median"},
+		{"dt", scorpionAlgo{DT, nil}, "avg"},
+		{"mc", scorpionAlgo{MC, nil}, "sum"},
+	}
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 600, Groups: 6, OutlierGroups: 3, Mu: 80, Seed: 13,
+	})
+	for _, tc := range cases {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(b *testing.B) {
+				req := &Request{
+					Table:            ds.Table,
+					SQL:              "SELECT " + tc.agg + "(v), g FROM synth GROUP BY g",
+					Outliers:         ds.OutlierKeys,
+					AllOthersHoldOut: true,
+					Direction:        TooHigh,
+					Attributes:       ds.DimNames(),
+					Algorithm:        tc.algo.algo,
+					NaiveParams:      tc.algo.naiveParams,
+					Workers:          workers,
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Explain(req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// scorpionAlgo bundles an algorithm choice with its NAIVE tuning.
+type scorpionAlgo struct {
+	algo        Algorithm
+	naiveParams *naive.Params
 }
 
 // --- Ablation benches -------------------------------------------------

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	scorpion-server -csv readings.csv -addr :8080
+//	scorpion-server -csv readings.csv -addr :8080 -workers 4
 //
 //	curl localhost:8080/schema
 //	curl -X POST localhost:8080/query \
@@ -11,14 +11,25 @@
 //	curl -X POST localhost:8080/explain \
 //	     -d '{"sql":"SELECT stddev(temp), hour FROM readings GROUP BY hour",
 //	          "outliers":["h012","h013"],"all_others_holdout":true}'
+//
+// Explanation searches run under the request's context: they stop when the
+// -explain-timeout deadline passes (returning a 504 JSON error) or when the
+// client disconnects. On SIGINT/SIGTERM the server shuts down gracefully —
+// it stops accepting connections, cancels in-flight searches, and waits
+// (up to -shutdown-timeout) for handlers to drain.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	scorpion "github.com/scorpiondb/scorpion"
@@ -27,9 +38,11 @@ import (
 
 func main() {
 	var (
-		csvPath = flag.String("csv", "", "dataset to serve (CSV with header)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		timeout = flag.Duration("explain-timeout", 2*time.Minute, "per-request explanation deadline")
+		csvPath   = flag.String("csv", "", "dataset to serve (CSV with header)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		timeout   = flag.Duration("explain-timeout", 2*time.Minute, "per-request explanation deadline")
+		workers   = flag.Int("workers", 0, "default search worker pool (0 = serial, -1 = GOMAXPROCS)")
+		drainTime = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
 	if *csvPath == "" {
@@ -47,7 +60,35 @@ func main() {
 	}
 	srv := server.New(table)
 	srv.ExplainTimeout = *timeout
+	srv.Workers = *workers
+
+	// Request contexts derive from the signal context, so a shutdown also
+	// cancels every in-flight explanation search.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{
+		Addr:        *addr,
+		Handler:     srv,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		fmt.Println("\nshutting down...")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTime)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
 	fmt.Printf("serving %d rows × %d columns on %s\n",
 		table.NumRows(), table.Schema().NumColumns(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown begins; wait for the drain
+	// to finish so in-flight handlers aren't killed mid-response.
+	<-drained
 }

@@ -5,30 +5,40 @@
 //	scorpion -csv readings.csv \
 //	   -sql "SELECT stddev(temp), hour FROM readings GROUP BY hour" \
 //	   -outliers h012,h013 -direction high [-holdouts h000,h001 | -all-others] \
-//	   [-c 0.2] [-lambda 0.5] [-algo auto|naive|dt|mc] [-attrs a,b,c] [-topk 5]
+//	   [-c 0.2] [-lambda 0.5] [-algo auto|naive|dt|mc] [-attrs a,b,c] [-topk 5] \
+//	   [-workers 4] [-timeout 30s]
 //
 // The tool prints the query result (so the flagged groups can be checked)
-// followed by the ranked explanation predicates.
+// followed by the ranked explanation predicates. The search is fanned out
+// over -workers goroutines and runs under a context: Ctrl-C (or -timeout)
+// stops it promptly and prints the best explanations found so far.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	scorpion "github.com/scorpiondb/scorpion"
 	"github.com/scorpiondb/scorpion/internal/plot"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "scorpion:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("scorpion", flag.ContinueOnError)
 	var (
 		csvPath   = fs.String("csv", "", "input CSV file (header row required)")
@@ -44,6 +54,8 @@ func run(args []string) error {
 		topK      = fs.Int("topk", 5, "number of explanations to print")
 		discrete  = fs.String("discrete", "", "comma-separated columns to force discrete")
 		showQuery = fs.Bool("show-query", true, "print the aggregate query result first")
+		workers   = fs.Int("workers", 0, "search worker pool (0 = serial, -1 = GOMAXPROCS)")
+		timeout   = fs.Duration("timeout", 0, "search deadline (0 = none); best-so-far results are printed on expiry")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +92,7 @@ func run(args []string) error {
 		C:                *cKnob,
 		TopK:             *topK,
 		Attributes:       splitList(*attrs),
+		Workers:          *workers,
 	}
 	switch strings.ToLower(*direction) {
 	case "high":
@@ -102,9 +115,20 @@ func run(args []string) error {
 		return fmt.Errorf("bad -algo %q", *algo)
 	}
 
-	res, err := scorpion.Explain(req)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := scorpion.ExplainContext(ctx, req)
+	interrupted := false
 	if err != nil {
-		return err
+		// A cancelled or expired search still carries the best-so-far
+		// explanations; print them with a note instead of failing.
+		if res == nil || !(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return err
+		}
+		interrupted = true
 	}
 
 	if *showQuery {
@@ -129,7 +153,10 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("algorithm: %s   scorer calls: %d   elapsed: %s\n\n",
-		res.Stats.Algorithm, res.Stats.ScorerCalls, res.Stats.Duration.Round(1e6))
+		res.Stats.Algorithm, res.Stats.ScorerCalls, res.Stats.Duration.Round(time.Millisecond))
+	if interrupted {
+		fmt.Printf("search interrupted (%s); showing best results so far\n\n", res.Stats.InterruptReason)
+	}
 	if len(res.Explanations) == 0 {
 		fmt.Println("no explanations found")
 		return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -30,7 +31,7 @@ func writeCSV(t *testing.T) string {
 
 func TestRunEndToEnd(t *testing.T) {
 	csv := writeCSV(t)
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-csv", csv,
 		"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
 		"-outliers", "g2",
@@ -60,7 +61,7 @@ func TestRunFlagValidation(t *testing.T) {
 			"-outliers", "nope"},
 	}
 	for i, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("case %d (%v): expected error", i, args)
 		}
 	}
@@ -69,7 +70,7 @@ func TestRunFlagValidation(t *testing.T) {
 func TestRunForcedAlgorithms(t *testing.T) {
 	csv := writeCSV(t)
 	for _, algo := range []string{"auto", "naive", "dt"} {
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-csv", csv,
 			"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
 			"-outliers", "g2",
@@ -82,7 +83,7 @@ func TestRunForcedAlgorithms(t *testing.T) {
 		}
 	}
 	// MC works with sum (non-negative values).
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-csv", csv,
 		"-sql", "SELECT sum(v), grp FROM t GROUP BY grp",
 		"-outliers", "g2",

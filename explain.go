@@ -1,6 +1,7 @@
 package scorpion
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -88,8 +89,17 @@ type Request struct {
 	Perturb *float64
 	// Algorithm forces a specific search strategy.
 	Algorithm Algorithm
-	// NaiveWorkers > 1 fans NAIVE's enumeration out over that many
-	// goroutines (the parallelization §8.3.2 leaves to future work).
+	// Workers sets the worker-pool size shared by every search algorithm
+	// (the parallelization §8.3.2 leaves to future work): NAIVE fans out
+	// predicate scoring, DT fans out tree-node expansion, and MC fans out
+	// frontier scoring and merge expansion. 0 or 1 runs serially; a
+	// negative value uses GOMAXPROCS. Parallel runs return the same
+	// explanations as serial runs.
+	Workers int
+	// NaiveWorkers is honored when Workers is zero.
+	//
+	// Deprecated: use Workers, which parallelizes all three algorithms
+	// rather than NAIVE alone.
 	NaiveWorkers int
 	// TopK bounds the returned explanations (default 5).
 	TopK int
@@ -140,6 +150,13 @@ type Stats struct {
 	ScorerCalls int64
 	// Candidates counts predicates considered.
 	Candidates int
+	// Interrupted reports that the search was cut short by context
+	// cancellation or deadline; Explanations hold the best predicates
+	// found up to that point.
+	Interrupted bool
+	// InterruptReason is the context error message ("context canceled",
+	// "context deadline exceeded") when Interrupted.
+	InterruptReason string
 }
 
 // Result is the outcome of Explain.
@@ -154,9 +171,32 @@ type Result struct {
 
 // Explain runs the full Scorpion pipeline: execute the query, resolve the
 // flagged groups through provenance, and search for the most influential
-// predicates.
+// predicates. It is ExplainContext with a background context.
 func Explain(req *Request) (*Result, error) {
+	return ExplainContext(context.Background(), req)
+}
+
+// ExplainContext is Explain under a context: the search checks ctx
+// periodically in its inner loops and stops early once it is cancelled or
+// its deadline passes.
+//
+// On cancellation mid-search, ExplainContext returns BOTH a non-nil partial
+// Result — the best explanations found so far, with Stats.Interrupted set
+// and Stats.InterruptReason carrying the context error — AND a non-nil
+// error wrapping ctx.Err(), so errors.Is(err, context.DeadlineExceeded)
+// and errors.Is(err, context.Canceled) work. Callers that can use partial
+// answers should check the Result before discarding it on error.
+//
+// Request.Workers sizes the worker pool shared by all three algorithms;
+// parallel searches return the same explanations as serial ones.
+func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("scorpion: %w", err)
+	}
 	scorer, space, qres, err := buildScorer(req)
 	if err != nil {
 		return nil, err
@@ -165,15 +205,40 @@ func Explain(req *Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cands, err := runSearch(req, scorer, space, algo)
+	searcher, err := buildSearcher(req, scorer, space, algo)
 	if err != nil {
 		return nil, err
 	}
-	res := assemble(req, scorer, cands, qres)
+	outcome, err := partition.RunSearch(ctx, req.effectiveWorkers(), searcher)
+	if err != nil {
+		return nil, err
+	}
+	res := assemble(req, scorer, outcome.Candidates, qres)
 	res.Stats.Algorithm = algo
 	res.Stats.Duration = time.Since(start)
 	res.Stats.ScorerCalls = scorer.Calls()
+	if outcome.Interrupted {
+		cause := ctx.Err()
+		if cause == nil {
+			cause = context.Canceled
+		}
+		res.Stats.Interrupted = true
+		res.Stats.InterruptReason = cause.Error()
+		return res, fmt.Errorf("scorpion: search interrupted: %w", cause)
+	}
 	return res, nil
+}
+
+// effectiveWorkers resolves the Workers knob, honoring the deprecated
+// NaiveWorkers alias when Workers is unset.
+func (r *Request) effectiveWorkers() int {
+	if r.Workers != 0 {
+		return r.Workers
+	}
+	if r.NaiveWorkers != 0 {
+		return r.NaiveWorkers
+	}
+	return 1
 }
 
 // buildScorer parses, executes and labels the query.
@@ -313,42 +378,28 @@ func chooseAlgorithm(req *Request, scorer *influence.Scorer) (Algorithm, error) 
 	return DT, nil
 }
 
-// runSearch executes the chosen partitioner (plus the Merger where the
-// architecture calls for it) and returns ranked candidates.
-func runSearch(req *Request, scorer *influence.Scorer, space *predicate.Space, algo Algorithm) ([]partition.Candidate, error) {
+// buildSearcher constructs the partition.Searcher for the chosen algorithm;
+// partition.RunSearch then drives it over the request's context and worker
+// budget, so all three strategies share one execution spine.
+func buildSearcher(req *Request, scorer *influence.Scorer, space *predicate.Space, algo Algorithm) (partition.Searcher, error) {
 	switch algo {
 	case Naive:
 		params := naive.Params{}
 		if req.NaiveParams != nil {
 			params = *req.NaiveParams
 		}
-		var res *naive.Result
-		var err error
-		if req.NaiveWorkers > 1 {
-			res, err = naive.RunParallel(scorer, space, params, req.NaiveWorkers)
-		} else {
-			res, err = naive.Run(scorer, space, params)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return res.TopK, nil
+		return naive.NewSearcher(scorer, space, params), nil
 
 	case DT:
 		params := dt.Params{}
 		if req.DTParams != nil {
 			params = *req.DTParams
 		}
-		res, err := dt.Run(scorer, space, params)
-		if err != nil {
-			return nil, err
-		}
 		mergeParams := merge.Params{TopQuartileOnly: true, UseApproximation: scorer.Incremental()}
 		if req.MergeParams != nil {
 			mergeParams = *req.MergeParams
 		}
-		merger := merge.New(scorer, space, mergeParams)
-		return merger.Merge(res.Candidates), nil
+		return &dtSearcher{scorer: scorer, space: space, params: params, mergeParams: mergeParams}, nil
 
 	case MC:
 		params := mc.Params{}
@@ -358,15 +409,38 @@ func runSearch(req *Request, scorer *influence.Scorer, space *predicate.Space, a
 		if req.MergeParams != nil {
 			params.Merge = *req.MergeParams
 		}
-		res, err := mc.Run(scorer, space, params)
-		if err != nil {
-			return nil, err
-		}
-		return res.Candidates, nil
+		return mc.NewSearcher(scorer, space, params), nil
 
 	default:
 		return nil, fmt.Errorf("scorpion: unknown algorithm %v", algo)
 	}
+}
+
+// dtSearcher composes the DT partitioner with the §6.3 Merger behind the
+// partition.Searcher interface. The composition lives at this layer (rather
+// than in the dt package) so dt stays independent of the merger, mirroring
+// the paper's partitioner/merger split.
+type dtSearcher struct {
+	scorer      *influence.Scorer
+	space       *predicate.Space
+	params      dt.Params
+	mergeParams merge.Params
+}
+
+func (s *dtSearcher) Name() string { return "dt" }
+
+func (s *dtSearcher) Search(pool *partition.Pool) (*partition.Outcome, error) {
+	pt, err := dt.PartitionPool(pool, s.scorer, s.space, s.params)
+	if err != nil {
+		return nil, err
+	}
+	cands := pt.CandidatesPool(s.scorer, pool)
+	merged := merge.New(s.scorer, s.space, s.mergeParams).WithPool(pool).Merge(cands)
+	return &partition.Outcome{
+		Candidates:  merged,
+		Work:        int64(len(pt.OutlierLeaves) + len(pt.HoldOutLeaves)),
+		Interrupted: pt.Interrupted || pool.Cancelled(),
+	}, nil
 }
 
 // assemble converts candidates into ranked explanations.

@@ -1,0 +1,3 @@
+module github.com/scorpiondb/scorpion
+
+go 1.24

@@ -23,7 +23,10 @@ package influence
 
 import (
 	"fmt"
+	"hash/maphash"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"github.com/scorpiondb/scorpion/internal/aggregate"
 	"github.com/scorpiondb/scorpion/internal/predicate"
@@ -121,7 +124,12 @@ func (t *Task) groupValues(g Group) []float64 {
 
 // Scorer evaluates predicate influence. It caches per-group aggregate state
 // (for incrementally removable aggregates) and memoizes predicate scores.
-// It is not safe for concurrent use.
+//
+// A Scorer is safe for concurrent use: the per-group states are immutable
+// after construction, the memoized score cache is sharded and synchronized,
+// and the Calls counter is atomic — so every worker of a parallel search
+// can share one Scorer (and one memo cache) instead of rebuilding per-group
+// state per goroutine.
 type Scorer struct {
 	task *Task
 	rem  aggregate.Removable // nil → black-box path
@@ -131,8 +139,60 @@ type Scorer struct {
 	outState  []aggregate.State // cached state(g), incremental path only
 	holdState []aggregate.State
 
-	calls int64 // number of (group × predicate) delta evaluations
-	cache map[string]float64
+	calls atomic.Int64 // number of (group × predicate) delta evaluations
+	cache scoreCache
+}
+
+// cacheShards is the number of score-cache stripes. Keys hash across
+// shards, so concurrent workers scoring distinct predicates rarely contend
+// on the same lock.
+const cacheShards = 64
+
+// scoreCache is a sharded, synchronized string→float64 memo table.
+type scoreCache struct {
+	seed   maphash.Seed
+	shards [cacheShards]struct {
+		mu sync.RWMutex
+		m  map[string]float64
+	}
+}
+
+func (c *scoreCache) init() {
+	c.seed = maphash.MakeSeed()
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]float64)
+	}
+}
+
+func (c *scoreCache) shard(key string) *struct {
+	mu sync.RWMutex
+	m  map[string]float64
+} {
+	return &c.shards[maphash.String(c.seed, key)%cacheShards]
+}
+
+func (c *scoreCache) get(key string) (float64, bool) {
+	sh := c.shard(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+func (c *scoreCache) put(key string, v float64) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
+}
+
+func (c *scoreCache) reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[string]float64)
+		sh.mu.Unlock()
+	}
 }
 
 // NewScorer builds a scorer, validating the task and choosing the
@@ -141,7 +201,8 @@ func NewScorer(task *Task) (*Scorer, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Scorer{task: task, cache: make(map[string]float64)}
+	s := &Scorer{task: task}
+	s.cache.init()
 	if rem, ok := task.Agg.(aggregate.Removable); ok {
 		s.rem = rem
 	}
@@ -172,7 +233,7 @@ func (s *Scorer) Incremental() bool { return s.rem != nil }
 
 // Calls reports how many (group × predicate) Δ evaluations have run —
 // the Scorer cost metric used by the Merger optimization experiments.
-func (s *Scorer) Calls() int64 { return s.calls }
+func (s *Scorer) Calls() int64 { return s.calls.Load() }
 
 // OutlierResult returns the cached original aggregate value of outlier i.
 func (s *Scorer) OutlierResult(i int) float64 { return s.outOrig[i] }
@@ -182,7 +243,7 @@ func (s *Scorer) HoldOutResult(i int) float64 { return s.holdOrig[i] }
 
 // delta computes Δagg(group, p) and the number of matched tuples.
 func (s *Scorer) delta(g Group, orig float64, state aggregate.State, p predicate.Predicate) (float64, int) {
-	s.calls++
+	s.calls.Add(1)
 	t := s.task
 	matched := 0
 	total := 0
@@ -296,14 +357,16 @@ func (s *Scorer) InfluenceOutliersOnly(p predicate.Predicate) float64 {
 }
 
 // Influence computes the full objective inf(O, H, p, V). Scores are memoized
-// by the predicate's canonical key.
+// by the predicate's canonical key. Concurrent callers scoring the same
+// predicate may both compute it (the computation is pure), but only one
+// value is retained.
 func (s *Scorer) Influence(p predicate.Predicate) float64 {
 	key := p.Key()
-	if v, ok := s.cache[key]; ok {
+	if v, ok := s.cache.get(key); ok {
 		return v
 	}
 	v := s.influenceUncached(p)
-	s.cache[key] = v
+	s.cache.put(key, v)
 	return v
 }
 
@@ -402,4 +465,4 @@ func (s *Scorer) MaxTupleInfluence(p predicate.Predicate) float64 {
 
 // ResetCache clears the memoized predicate scores (used when the task's C
 // changes between runs while keeping cached group states).
-func (s *Scorer) ResetCache() { s.cache = make(map[string]float64) }
+func (s *Scorer) ResetCache() { s.cache.reset() }

@@ -3,6 +3,7 @@ package influence
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -567,4 +568,98 @@ func TestPerturbationBlackBoxAgrees(t *testing.T) {
 	if a, b := inc.TupleOutlierInfluence(0, 5), bb.TupleOutlierInfluence(0, 5); !almostEqual(a, b) {
 		t.Errorf("tuple influence %v != %v in perturbation mode", a, b)
 	}
+}
+
+// TestScorerConcurrentUse hammers one shared Scorer from many goroutines
+// (the parallel-search access pattern) and checks every concurrent result
+// matches the serially computed value. Run under -race to verify the
+// sharded cache and atomic call counter synchronize correctly.
+func TestScorerConcurrentUse(t *testing.T) {
+	task := paperTask(t)
+	scorer, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := task.Table
+	vCol := tbl.Schema().MustIndex("voltage")
+	hCol := tbl.Schema().MustIndex("humidity")
+	var preds []predicate.Predicate
+	for i := 0; i < 16; i++ {
+		lo := 2.2 + 0.05*float64(i%8)
+		preds = append(preds, predicate.MustNew(
+			predicate.NewRangeClause(vCol, "voltage", lo, lo+0.2, true)))
+		preds = append(preds, predicate.MustNew(
+			predicate.NewRangeClause(hCol, "humidity", 0.1*float64(i%5), 0.6, true)))
+	}
+	want := make([]float64, len(preds))
+	serial, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range preds {
+		want[i] = serial.Influence(p)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, p := range preds {
+					if got := scorer.Influence(p); got != want[i] {
+						errs <- p.Key()
+						return
+					}
+					_ = scorer.InfluenceOutliersOnly(p)
+					_, _ = scorer.Parts(p)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for key := range errs {
+		t.Errorf("concurrent Influence(%s) diverged from serial value", key)
+	}
+	if scorer.Calls() == 0 {
+		t.Error("Calls() = 0 after concurrent scoring")
+	}
+}
+
+// TestScorerResetCacheConcurrent checks ResetCache racing Influence keeps
+// values correct (cached entries may vanish, never corrupt).
+func TestScorerResetCacheConcurrent(t *testing.T) {
+	task := paperTask(t)
+	scorer, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := task.Table
+	vCol := tbl.Schema().MustIndex("voltage")
+	p := predicate.MustNew(predicate.NewRangeClause(vCol, "voltage", 2.2, 2.5, true))
+	want := scorer.Influence(p)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := scorer.Influence(p); got != want {
+					t.Errorf("Influence = %v, want %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			scorer.ResetCache()
+		}
+	}()
+	wg.Wait()
 }

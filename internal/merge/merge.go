@@ -21,7 +21,9 @@
 package merge
 
 import (
+	"context"
 	"math"
+	"sync"
 
 	"github.com/scorpiondb/scorpion/internal/aggregate"
 	"github.com/scorpiondb/scorpion/internal/influence"
@@ -65,17 +67,26 @@ type Merger struct {
 	scorer *influence.Scorer
 	space  *predicate.Space
 	params Params
+	pool   *partition.Pool
 	rem    aggregate.Removable
 	// Approximation caches: per-outlier-group full states, original values,
-	// and per-row singleton states.
+	// and per-row singleton states (synchronized: parallel expansion scores
+	// merge candidates concurrently).
 	groupStates []aggregate.State
 	groupOrig   []float64
+	rowStatesMu sync.Mutex
 	rowStates   map[int]aggregate.State
 }
 
-// New builds a Merger over the given scorer and search space.
+// New builds a Merger over the given scorer and search space. It runs
+// serially and uncancellably unless WithPool is called.
 func New(scorer *influence.Scorer, space *predicate.Space, params Params) *Merger {
-	m := &Merger{scorer: scorer, space: space, params: params.withDefaults()}
+	m := &Merger{
+		scorer: scorer,
+		space:  space,
+		params: params.withDefaults(),
+		pool:   partition.NewPool(context.Background(), 1),
+	}
 	if rem, ok := scorer.Task().Agg.(aggregate.Removable); ok {
 		m.rem = rem
 		if m.params.UseApproximation {
@@ -91,8 +102,21 @@ func New(scorer *influence.Scorer, space *predicate.Space, params Params) *Merge
 	return m
 }
 
+// WithPool attaches a worker pool: merge-candidate scoring fans out over
+// its workers, and expansion stops early (keeping results so far) once the
+// pool's context is cancelled. The merged output is identical for any
+// worker count. Returns the receiver for chaining.
+func (m *Merger) WithPool(pool *partition.Pool) *Merger {
+	if pool != nil {
+		m.pool = pool
+	}
+	return m
+}
+
 // rowState returns (and caches) state({value of row}).
 func (m *Merger) rowState(row int) aggregate.State {
+	m.rowStatesMu.Lock()
+	defer m.rowStatesMu.Unlock()
 	if st, ok := m.rowStates[row]; ok {
 		return st
 	}
@@ -161,7 +185,10 @@ func (m *Merger) MergeSeeded(cands []partition.Candidate, seeds []partition.Cand
 }
 
 // expand grows one candidate by greedily absorbing adjacent pool members
-// while the (estimated) influence increases.
+// while the (estimated) influence increases. Candidate-merge scoring fans
+// out over the attached worker pool; the greedy choice — the highest score,
+// earliest pool index on ties, strictly above the current score — matches
+// the serial scan exactly, so parallel and serial expansions agree.
 func (m *Merger) expand(c partition.Candidate, pool []partition.Candidate, absorbed map[string]bool) partition.Candidate {
 	cur := c
 	curScore := m.score(cur.Pred, pool)
@@ -170,9 +197,16 @@ func (m *Merger) expand(c partition.Candidate, pool []partition.Candidate, absor
 		rounds = len(pool) + 1
 	}
 	for r := 0; r < rounds; r++ {
-		bestScore := curScore
-		var bestPred predicate.Predicate
-		bestIdx := -1
+		if m.pool.Cancelled() {
+			break
+		}
+		// Gather the merge candidates cheaply, then score them in parallel.
+		type attempt struct {
+			idx    int
+			merged predicate.Predicate
+			score  float64
+		}
+		var attempts []attempt
 		for i, q := range pool {
 			if q.Pred.Equal(cur.Pred) {
 				continue
@@ -190,9 +224,19 @@ func (m *Merger) expand(c partition.Candidate, pool []partition.Candidate, absor
 			if merged.Equal(cur.Pred) {
 				continue
 			}
-			s := m.score(merged, pool)
-			if s > bestScore {
-				bestScore, bestPred, bestIdx = s, merged, i
+			attempts = append(attempts, attempt{idx: i, merged: merged})
+		}
+		if err := m.pool.ForEach(len(attempts), func(i int) {
+			attempts[i].score = m.score(attempts[i].merged, pool)
+		}); err != nil {
+			break // cancelled mid-scoring: unscored attempts must not win
+		}
+		bestScore := curScore
+		var bestPred predicate.Predicate
+		bestIdx := -1
+		for _, a := range attempts {
+			if a.score > bestScore {
+				bestScore, bestPred, bestIdx = a.score, a.merged, a.idx
 			}
 		}
 		if bestIdx < 0 {

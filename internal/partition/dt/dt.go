@@ -11,12 +11,19 @@
 // The partitioning itself is agnostic to the c knob (tuple influence has a
 // denominator of 1^c), so a Partitioning can be cached and re-scored for
 // different c values (§8.3.3).
+//
+// The build is cancellable and parallel: RunContext/PartitionContext thread
+// a context.Context into the tree expansion (cancellation emits the
+// unfinished frontier as coarse leaves, so the partial partitioning still
+// tiles the space) and fan node expansion out over a partition.Pool.
+// Because every node's sampling randomness is derived from its position in
+// the tree, the partitioning is identical for any worker count.
 package dt
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"github.com/scorpiondb/scorpion/internal/influence"
 	"github.com/scorpiondb/scorpion/internal/partition"
@@ -32,7 +39,8 @@ type Params struct {
 	InflectionP float64
 	// MinSize stops splitting partitions with fewer sampled tuples.
 	MinSize int
-	// MaxDepth bounds tree depth.
+	// MaxDepth bounds tree depth (clamped to 60: node ids are heap-style
+	// path indices in a uint64).
 	MaxDepth int
 	// ContSplitCandidates is the number of quantile split candidates per
 	// continuous attribute.
@@ -67,6 +75,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.MaxDepth <= 0 {
 		p.MaxDepth = 12
+	}
+	if p.MaxDepth > 60 {
+		p.MaxDepth = 60
 	}
 	if p.ContSplitCandidates <= 0 {
 		p.ContSplitCandidates = 3
@@ -113,6 +124,10 @@ type Partitioning struct {
 	// Combined holds the §6.1.4 combination: outlier partitions split along
 	// influential hold-out partitions, each flagged when it overlaps one.
 	Combined []combinedPiece
+	// Interrupted reports that context cancellation cut the tree build
+	// short; the leaves still tile the space, but unfinished frontier
+	// nodes were kept as coarse partitions.
+	Interrupted bool
 }
 
 type combinedPiece struct {
@@ -129,47 +144,82 @@ type Result struct {
 	Partitioning *Partitioning
 }
 
-// Run partitions and scores in one call.
+// Run partitions and scores in one call, serially and without cancellation.
 func Run(scorer *influence.Scorer, space *predicate.Space, params Params) (*Result, error) {
-	pt, err := Partition(scorer, space, params)
+	return RunContext(context.Background(), scorer, space, params, 1)
+}
+
+// RunContext is Run with cancellation and a worker budget: node expansion
+// fans out over a shared pool and the build stops early (keeping the
+// frontier as coarse leaves) once ctx is cancelled. workers <= 0 uses
+// GOMAXPROCS.
+func RunContext(ctx context.Context, scorer *influence.Scorer, space *predicate.Space, params Params, workers int) (*Result, error) {
+	pool := partition.NewPool(ctx, workers)
+	pt, err := PartitionPool(pool, scorer, space, params)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Candidates: pt.Candidates(scorer), Partitioning: pt}, nil
+	return &Result{Candidates: pt.CandidatesPool(scorer, pool), Partitioning: pt}, nil
 }
 
 // Partition builds the outlier and hold-out trees and combines them. The
 // result does not depend on the task's C and can be cached across c sweeps.
 func Partition(scorer *influence.Scorer, space *predicate.Space, params Params) (*Partitioning, error) {
+	return PartitionContext(context.Background(), scorer, space, params, 1)
+}
+
+// PartitionContext is Partition with cancellation and a worker budget.
+func PartitionContext(ctx context.Context, scorer *influence.Scorer, space *predicate.Space, params Params, workers int) (*Partitioning, error) {
+	return PartitionPool(partition.NewPool(ctx, workers), scorer, space, params)
+}
+
+// PartitionPool is the build core shared by every entry point: it expands
+// the trees over an existing pool, so callers composing DT with further
+// stages (scoring, merging) can share one pool across the whole search.
+func PartitionPool(pool *partition.Pool, scorer *influence.Scorer, space *predicate.Space, params Params) (*Partitioning, error) {
 	params = params.withDefaults()
 	task := scorer.Task()
 	if !task.Agg.Independent() {
 		return nil, fmt.Errorf("dt: aggregate %q is not independent; use the NAIVE partitioner", task.Agg.Name())
 	}
 
-	rng := rand.New(rand.NewSource(params.SampleSeed))
-	outTree := newTree(scorer, space, params, rng, groupsOf(task.Outliers), scorer.TupleOutlierInfluence)
-	outLeaves := outTree.build()
+	outTree := newTree(scorer, space, params, task.Outliers, scorer.TupleOutlierInfluence)
+	outLeaves := outTree.build(pool)
+	interrupted := outTree.interrupted
 
 	var holdLeaves []Leaf
 	if len(task.HoldOuts) > 0 {
-		holdTree := newTree(scorer, space, params, rng, groupsOf(task.HoldOuts), scorer.TupleHoldOutInfluence)
-		holdLeaves = holdTree.build()
+		// Decorrelate the hold-out tree's per-node RNG streams from the
+		// outlier tree's (both derive draws from SampleSeed and node ids).
+		holdParams := params
+		holdParams.SampleSeed ^= 0x5bd1e995
+		holdTree := newTree(scorer, space, holdParams, task.HoldOuts, scorer.TupleHoldOutInfluence)
+		holdLeaves = holdTree.build(pool)
+		interrupted = interrupted || holdTree.interrupted
 	}
 
-	pt := &Partitioning{OutlierLeaves: outLeaves, HoldOutLeaves: holdLeaves}
+	pt := &Partitioning{OutlierLeaves: outLeaves, HoldOutLeaves: holdLeaves, Interrupted: interrupted}
 	pt.combine(space, params)
 	return pt, nil
 }
 
-func groupsOf(gs []influence.Group) []influence.Group { return gs }
-
 // Candidates scores the combined partitioning with the given scorer,
 // producing Merger-ready candidates carrying the §6.3 statistics.
 func (pt *Partitioning) Candidates(scorer *influence.Scorer) []partition.Candidate {
+	return pt.CandidatesPool(scorer, partition.NewPool(context.Background(), 1))
+}
+
+// CandidatesPool is Candidates with piece scoring fanned out over the pool.
+// Each piece writes its own slot, so the result (after the stable sort) is
+// identical for any worker count. On cancellation, pieces that were never
+// scored are dropped — the returned list is the scored best-so-far subset,
+// never zero-value (match-everything, score-0) placeholders.
+func (pt *Partitioning) CandidatesPool(scorer *influence.Scorer, pool *partition.Pool) []partition.Candidate {
 	task := scorer.Task()
-	out := make([]partition.Candidate, 0, len(pt.Combined))
-	for _, piece := range pt.Combined {
+	out := make([]partition.Candidate, len(pt.Combined))
+	scored := make([]bool, len(pt.Combined))
+	err := pool.ForEach(len(pt.Combined), func(i int) {
+		piece := pt.Combined[i]
 		leaf := pt.OutlierLeaves[piece.source]
 		outMean, holdPen := scorer.Parts(piece.pred)
 		score := task.Lambda*outMean - (1-task.Lambda)*holdPen
@@ -195,7 +245,17 @@ func (pt *Partitioning) Candidates(scorer *influence.Scorer) []partition.Candida
 			c.CachedRows = leaf.CachedRows
 			c.MeanInfluences = leaf.Means
 		}
-		out = append(out, c)
+		out[i] = c
+		scored[i] = true
+	})
+	if err != nil {
+		kept := out[:0]
+		for i, c := range out {
+			if scored[i] {
+				kept = append(kept, c)
+			}
+		}
+		out = kept
 	}
 	partition.SortByScore(out)
 	return out

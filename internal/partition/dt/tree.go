@@ -4,8 +4,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/partition"
 	"github.com/scorpiondb/scorpion/internal/predicate"
 	"github.com/scorpiondb/scorpion/internal/relation"
 	"github.com/scorpiondb/scorpion/internal/sample"
@@ -14,22 +16,38 @@ import (
 // tree builds one synchronized regression tree over a set of input groups
 // (§6.1.1–6.1.3). Split decisions minimize the maximum per-group weighted
 // child standard deviation of tuple influence.
+//
+// The build is a breadth-first frontier expansion: each level's nodes are
+// independent, so a partition.Pool fans them out over workers. Determinism
+// across worker counts comes from two rules: every node draws its sampling
+// randomness from an RNG seeded by (SampleSeed, node id) — the heap-style
+// path id root=1, children 2i/2i+1 — and leaves are collected on the
+// coordinating goroutine in frontier order, never in completion order.
 type tree struct {
 	scorer *influence.Scorer
 	space  *predicate.Space
 	params Params
-	rng    *rand.Rand
 	groups []influence.Group
 	// tupleInf returns the influence of a row within group gi.
 	tupleInf func(gi, row int) float64
-	// infCache memoizes tuple influences per group: row -> influence.
-	infCache []map[int]float64
+	// infCache memoizes tuple influences per group (row → influence); it is
+	// synchronized because concurrent node expansions share rows.
+	infCache []groupInfCache
 	// Tree-global influence bounds, fixed from the root samples.
 	infL, infU float64
 	// minSize is the effective minimum sampled-tuple count per node:
 	// params.MinSize clamped so tiny datasets can still split.
 	minSize int
 	leaves  []Leaf
+	// interrupted records a context cancellation during the build; the
+	// emitted leaves then include unfinished nodes as coarse partitions.
+	interrupted bool
+}
+
+// groupInfCache is one group's synchronized row→influence memo table.
+type groupInfCache struct {
+	mu sync.RWMutex
+	m  map[int]float64
 }
 
 // nodeGroup is one group's data within a tree node.
@@ -41,40 +59,107 @@ type nodeGroup struct {
 }
 
 type node struct {
+	// id is the heap-style path id (root 1, children 2id and 2id+1); it
+	// seeds the node's sampling RNG, making the build independent of
+	// execution order.
+	id     uint64
 	pred   predicate.Predicate
 	groups []nodeGroup
 	depth  int
 }
 
 func newTree(scorer *influence.Scorer, space *predicate.Space, params Params,
-	rng *rand.Rand, groups []influence.Group, tupleInf func(int, int) float64) *tree {
+	groups []influence.Group, tupleInf func(int, int) float64) *tree {
 	t := &tree{
 		scorer:   scorer,
 		space:    space,
 		params:   params,
-		rng:      rng,
 		groups:   groups,
 		tupleInf: tupleInf,
-		infCache: make([]map[int]float64, len(groups)),
+		infCache: make([]groupInfCache, len(groups)),
 	}
 	for i := range t.infCache {
-		t.infCache[i] = make(map[int]float64)
+		t.infCache[i].m = make(map[int]float64)
 	}
 	return t
 }
 
+// rngFor derives a node-local RNG from the tree seed and the node id via a
+// splitmix64-style mix, so sibling nodes get decorrelated streams and the
+// draw sequence depends only on the node's position in the tree.
+func (t *tree) rngFor(id uint64) *rand.Rand {
+	x := uint64(t.params.SampleSeed) ^ (id * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return rand.New(rand.NewSource(int64(x)))
+}
+
 func (t *tree) influenceOf(gi, row int) float64 {
-	if v, ok := t.infCache[gi][row]; ok {
+	c := &t.infCache[gi]
+	c.mu.RLock()
+	v, ok := c.m[row]
+	c.mu.RUnlock()
+	if ok {
 		return v
 	}
-	v := t.tupleInf(gi, row)
-	t.infCache[gi][row] = v
+	v = t.tupleInf(gi, row)
+	c.mu.Lock()
+	c.m[row] = v
+	c.mu.Unlock()
 	return v
 }
 
-// build runs the recursive partitioner and returns the leaves.
-func (t *tree) build() []Leaf {
-	root := node{pred: predicate.True(), depth: 0}
+// build runs the frontier partitioner over the pool and returns the leaves.
+func (t *tree) build(pool *partition.Pool) []Leaf {
+	root := t.makeRoot(pool)
+	frontier := []node{root}
+	for len(frontier) > 0 {
+		type expansion struct {
+			processed bool
+			split     bool
+			children  [2]node
+		}
+		results := make([]expansion, len(frontier))
+		_ = pool.ForEach(len(frontier), func(i int) {
+			children, split := t.process(&frontier[i])
+			results[i] = expansion{processed: true, split: split, children: children}
+		})
+		// Collect on the coordinating goroutine, in frontier order, so the
+		// leaf list is identical for any worker count.
+		var next []node
+		for i, r := range results {
+			switch {
+			case !r.processed:
+				// Cancelled before this node ran: keep it as a coarse leaf
+				// so the partitioning still tiles the space.
+				t.emitLeaf(frontier[i])
+			case r.split:
+				next = append(next, r.children[0], r.children[1])
+			default:
+				t.emitLeaf(frontier[i])
+			}
+		}
+		frontier = next
+		if pool.Cancelled() {
+			t.interrupted = true
+			for i := range frontier {
+				t.emitLeaf(frontier[i])
+			}
+			break
+		}
+	}
+	return t.leaves
+}
+
+// makeRoot draws the §6.1.2 initial sample and fixes the tree-global
+// influence bounds. Root influence computations fan out over the pool (they
+// dominate the cost of sampling-disabled builds); the reduction to bounds
+// stays on the coordinating goroutine.
+func (t *tree) makeRoot(pool *partition.Pool) node {
+	root := node{id: 1, pred: predicate.True(), depth: 0}
 	total := 0
 	for _, g := range t.groups {
 		total += g.Rows.Count()
@@ -83,22 +168,66 @@ func (t *tree) build() []Leaf {
 	if !t.params.DisableSampling {
 		rate = sample.InitialRate(total, t.params.Epsilon, t.params.Confidence)
 	}
-	t.infL, t.infU = math.Inf(1), math.Inf(-1)
+	rng := t.rngFor(root.id)
 	for _, g := range t.groups {
 		ng := nodeGroup{rate: rate}
 		g.Rows.ForEach(func(r int) { ng.full = append(ng.full, r) })
-		set := sample.Uniform(t.rng, g.Rows, rate)
+		set := sample.Uniform(rng, g.Rows, rate)
 		set.ForEach(func(r int) { ng.sampled = append(ng.sampled, r) })
 		root.groups = append(root.groups, ng)
 	}
 	// Guarantee a minimally useful root sample.
-	t.ensureMinSample(&root)
+	t.ensureMinSample(&root, rng)
+
+	// Influence of every sampled root row, computed across the pool.
+	type ref struct{ gi, idx int }
+	var refs []ref
 	for gi := range root.groups {
 		ng := &root.groups[gi]
 		ng.infs = make([]float64, len(ng.sampled))
-		for i, r := range ng.sampled {
-			v := t.influenceOf(gi, r)
-			ng.infs[i] = v
+		for i := range ng.sampled {
+			refs = append(refs, ref{gi, i})
+		}
+	}
+	computed := make([]bool, len(refs))
+	if err := pool.ForEach(len(refs), func(i int) {
+		r := refs[i]
+		ng := &root.groups[r.gi]
+		ng.infs[r.idx] = t.influenceOf(r.gi, ng.sampled[r.idx])
+		computed[i] = true
+	}); err != nil {
+		// Cancelled mid-computation: drop the uncomputed sample slots so the
+		// tree bounds and leaf statistics never mix in placeholder zeros.
+		t.interrupted = true
+		drop := make([]map[int]bool, len(root.groups))
+		for i, r := range refs {
+			if !computed[i] {
+				if drop[r.gi] == nil {
+					drop[r.gi] = make(map[int]bool)
+				}
+				drop[r.gi][r.idx] = true
+			}
+		}
+		for gi := range root.groups {
+			if drop[gi] == nil {
+				continue
+			}
+			ng := &root.groups[gi]
+			sampled := ng.sampled[:0]
+			infs := ng.infs[:0]
+			for i := range ng.sampled {
+				if !drop[gi][i] {
+					sampled = append(sampled, ng.sampled[i])
+					infs = append(infs, ng.infs[i])
+				}
+			}
+			ng.sampled, ng.infs = sampled, infs
+		}
+	}
+
+	t.infL, t.infU = math.Inf(1), math.Inf(-1)
+	for gi := range root.groups {
+		for _, v := range root.groups[gi].infs {
 			if v < t.infL {
 				t.infL = v
 			}
@@ -117,13 +246,12 @@ func (t *tree) build() []Leaf {
 	if t.minSize < 2 {
 		t.minSize = 2
 	}
-	t.split(root)
-	return t.leaves
+	return root
 }
 
 // ensureMinSample tops up each group's sample to MinSize rows when the
 // initial rate under-draws tiny groups.
-func (t *tree) ensureMinSample(n *node) {
+func (t *tree) ensureMinSample(n *node, rng *rand.Rand) {
 	for gi := range n.groups {
 		ng := &n.groups[gi]
 		if len(ng.sampled) >= t.params.MinSize || len(ng.sampled) == len(ng.full) {
@@ -133,7 +261,7 @@ func (t *tree) ensureMinSample(n *node) {
 		for _, r := range ng.sampled {
 			have[r] = true
 		}
-		perm := t.rng.Perm(len(ng.full))
+		perm := rng.Perm(len(ng.full))
 		for _, idx := range perm {
 			if len(ng.sampled) >= t.params.MinSize {
 				break
@@ -179,27 +307,24 @@ func (t *tree) nodeStats(n *node) (pooledCount int, pooledMax float64, maxStd fl
 	return pooledCount, pooledMax, maxStd
 }
 
-// split recursively partitions a node, emitting leaves when the stopping
-// criteria hold.
-func (t *tree) split(n node) {
-	count, infMax, maxStd := t.nodeStats(&n)
+// process decides one node's fate: either it splits (returning the two
+// children) or it is a leaf. Pure with respect to the node, so frontier
+// nodes can be processed concurrently.
+func (t *tree) process(n *node) (children [2]node, split bool) {
+	count, infMax, maxStd := t.nodeStats(n)
 	thr := threshold(infMax, t.infL, t.infU, t.params.TauMin, t.params.TauMax, t.params.InflectionP)
 	if n.depth >= t.params.MaxDepth || count < t.minSize || maxStd <= thr {
-		t.emitLeaf(n)
-		return
+		return children, false
 	}
-	best, ok := t.bestSplit(&n, maxStd)
+	best, ok := t.bestSplit(n, maxStd)
 	if !ok {
-		t.emitLeaf(n)
-		return
+		return children, false
 	}
-	left, right := t.apply(&n, best)
+	left, right := t.apply(n, best)
 	if t.degenerate(left) || t.degenerate(right) {
-		t.emitLeaf(n)
-		return
+		return children, false
 	}
-	t.split(left)
-	t.split(right)
+	return [2]node{left, right}, true
 }
 
 func (t *tree) degenerate(n node) bool {
@@ -404,7 +529,7 @@ func (t *tree) splitMetric(n *node, goesLeft func(row int) bool) float64 {
 }
 
 // apply materializes the two children of a split, re-sampling each child at
-// the §6.1.2 stratified rate.
+// the §6.1.2 stratified rate. Each child samples from its own node-id RNG.
 func (t *tree) apply(n *node, sp candidateSplit) (node, node) {
 	table := t.space.Table()
 	var goesLeft func(row int) bool
@@ -442,8 +567,10 @@ func (t *tree) apply(n *node, sp candidateSplit) (node, node) {
 		rightClause = predicate.NewRangeClause(sp.col, name, sp.value, cur.Hi, cur.HiInc)
 	}
 
-	left := node{pred: replaceClause(n.pred, leftClause), depth: n.depth + 1}
-	right := node{pred: replaceClause(n.pred, rightClause), depth: n.depth + 1}
+	left := node{id: 2 * n.id, pred: replaceClause(n.pred, leftClause), depth: n.depth + 1}
+	right := node{id: 2*n.id + 1, pred: replaceClause(n.pred, rightClause), depth: n.depth + 1}
+	leftRng := t.rngFor(left.id)
+	rightRng := t.rngFor(right.id)
 
 	for gi := range n.groups {
 		g := &n.groups[gi]
@@ -474,8 +601,8 @@ func (t *tree) apply(n *node, sp candidateSplit) (node, node) {
 			lg.rate, rg.rate = sample.SplitRates(infLmass, infRmass,
 				len(g.sampled), len(lg.full), len(rg.full), 0)
 		}
-		t.sampleChild(gi, &lg)
-		t.sampleChild(gi, &rg)
+		t.sampleChild(gi, &lg, leftRng)
+		t.sampleChild(gi, &rg, rightRng)
 		left.groups = append(left.groups, lg)
 		right.groups = append(right.groups, rg)
 	}
@@ -484,18 +611,18 @@ func (t *tree) apply(n *node, sp candidateSplit) (node, node) {
 
 // sampleChild draws the child's sample from its full rows and computes the
 // (memoized) influences.
-func (t *tree) sampleChild(gi int, g *nodeGroup) {
+func (t *tree) sampleChild(gi int, g *nodeGroup, rng *rand.Rand) {
 	if g.rate >= 1 {
 		g.sampled = append([]int(nil), g.full...)
 	} else {
 		for _, r := range g.full {
-			if t.rng.Float64() < g.rate {
+			if rng.Float64() < g.rate {
 				g.sampled = append(g.sampled, r)
 			}
 		}
 		// Never sample a non-empty child down to nothing.
 		if len(g.sampled) == 0 && len(g.full) > 0 {
-			g.sampled = append(g.sampled, g.full[t.rng.Intn(len(g.full))])
+			g.sampled = append(g.sampled, g.full[rng.Intn(len(g.full))])
 		}
 	}
 	g.infs = make([]float64, len(g.sampled))
@@ -516,7 +643,8 @@ func replaceClause(p predicate.Predicate, cl predicate.Clause) predicate.Predica
 	return predicate.MustNew(clauses...)
 }
 
-// emitLeaf converts a node into a Leaf with the §6.3 statistics.
+// emitLeaf converts a node into a Leaf with the §6.3 statistics. Only the
+// coordinating goroutine emits, so no synchronization is needed.
 func (t *tree) emitLeaf(n node) {
 	leaf := Leaf{
 		Pred:       n.pred,

@@ -95,7 +95,7 @@ func TestSplitMetricMatchesBruteForceProperty(t *testing.T) {
 			return false
 		}
 		tr := newTree(scorer, space, Params{DisableSampling: true}.withDefaults(),
-			rand.New(rand.NewSource(1)), groups, scorer.TupleOutlierInfluence)
+			groups, scorer.TupleOutlierInfluence)
 
 		// Build a root node manually with full sampling.
 		root := node{pred: predicate.True()}

@@ -19,6 +19,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -66,6 +67,9 @@ type Result struct {
 	Candidates []partition.Candidate
 	// Iterations is the number of completed intersection rounds.
 	Iterations int
+	// Interrupted reports whether context cancellation cut the search
+	// short; Candidates then hold the best predicates found so far.
+	Interrupted bool
 }
 
 // unit is a candidate predicate with its cached row set over g_O.
@@ -77,8 +81,23 @@ type unit struct {
 	score float64
 }
 
-// Run executes the MC algorithm.
+// Run executes the MC algorithm, serially and without cancellation.
 func Run(scorer *influence.Scorer, space *predicate.Space, params Params) (*Result, error) {
+	return RunContext(context.Background(), scorer, space, params, 1)
+}
+
+// RunContext is Run with cancellation and a worker budget: unit scoring,
+// pruning bounds, per-tuple influence labeling and merge expansion fan out
+// over a shared pool, and the bottom-up loop stops early (returning the
+// best candidates found so far with Result.Interrupted set) once ctx is
+// cancelled. workers <= 0 uses GOMAXPROCS. The candidate output is
+// identical for any worker count.
+func RunContext(ctx context.Context, scorer *influence.Scorer, space *predicate.Space, params Params, workers int) (*Result, error) {
+	return runPool(partition.NewPool(ctx, workers), scorer, space, params)
+}
+
+// runPool is the search core shared by every entry point.
+func runPool(pool *partition.Pool, scorer *influence.Scorer, space *predicate.Space, params Params) (*Result, error) {
 	params = params.withDefaults()
 	task := scorer.Task()
 	if !task.Agg.Independent() {
@@ -94,7 +113,7 @@ func Run(scorer *influence.Scorer, space *predicate.Space, params Params) (*Resu
 		}
 	}
 
-	m := &runner{scorer: scorer, space: space, params: params, task: task}
+	m := &runner{scorer: scorer, space: space, params: params, task: task, pool: pool}
 	m.init()
 	return m.run()
 }
@@ -104,10 +123,14 @@ type runner struct {
 	space  *predicate.Space
 	params Params
 	task   *influence.Task
+	pool   *partition.Pool
 
 	gO       *relation.RowSet // union of outlier groups
 	tupleInf []float64        // per-row influence (NaN outside g_O)
 	units    []unit
+	// interrupted records a cancellation observed during a parallel phase;
+	// partially-scored state must not feed best-so-far updates.
+	interrupted bool
 }
 
 // groupValues projects the aggregate attribute of a group.
@@ -122,6 +145,9 @@ func groupValues(task *influence.Task, g influence.Group) []float64 {
 }
 
 // init precomputes g_O, per-tuple influences, and the generation-1 units.
+// The per-tuple labeling and unit scoring — the dominant setup costs — fan
+// out over the pool; each task writes a distinct slot, so the result is
+// identical for any worker count.
 func (m *runner) init() {
 	t := m.task
 	m.gO = relation.NewRowSet(t.Table.NumRows())
@@ -129,11 +155,17 @@ func (m *runner) init() {
 	for i := range m.tupleInf {
 		m.tupleInf[i] = math.NaN()
 	}
+	type ref struct{ gi, row int }
+	var refs []ref
 	for gi, g := range t.Outliers {
-		g.Rows.ForEach(func(r int) {
-			m.tupleInf[r] = m.scorer.TupleOutlierInfluence(gi, r)
-		})
+		g.Rows.ForEach(func(r int) { refs = append(refs, ref{gi, r}) })
 		m.gO.Or(g.Rows)
+	}
+	if err := m.pool.ForEach(len(refs), func(i int) {
+		m.tupleInf[refs[i].row] = m.scorer.TupleOutlierInfluence(refs[i].gi, refs[i].row)
+	}); err != nil {
+		m.interrupted = true
+		return
 	}
 	for _, col := range m.space.Columns() {
 		if m.space.Kind(col) == relation.Continuous {
@@ -142,8 +174,17 @@ func (m *runner) init() {
 			m.initDiscreteUnits(col)
 		}
 	}
-	for i := range m.units {
+	m.scoreUnits()
+}
+
+// scoreUnits fills every unit's influence score across the pool. On
+// cancellation it flags the runner interrupted so partial scores are never
+// consumed.
+func (m *runner) scoreUnits() {
+	if err := m.pool.ForEach(len(m.units), func(i int) {
 		m.units[i].score = m.scorer.Influence(m.units[i].pred)
+	}); err != nil {
+		m.interrupted = true
 	}
 }
 
@@ -223,6 +264,10 @@ func (m *runner) addUnit(p predicate.Predicate) {
 //     about refinements, while the Merger builds supersets.
 func (m *runner) run() (*Result, error) {
 	res := &Result{}
+	if m.interrupted {
+		res.Interrupted = true
+		return res, nil
+	}
 	if len(m.units) == 0 {
 		return nil, fmt.Errorf("mc: no non-empty units over the outlier groups")
 	}
@@ -231,19 +276,24 @@ func (m *runner) run() (*Result, error) {
 		maxIter = len(m.space.Columns())
 	}
 
-	merger := merge.New(m.scorer, m.space, m.params.Merge)
+	merger := merge.New(m.scorer, m.space, m.params.Merge).WithPool(m.pool)
 	global := partition.Candidate{Score: math.Inf(-1)}
 	haveGlobal := false
 	prevBest := math.Inf(-1) // the pseudocode's `best`: Null initially
 
 	for iter := 0; iter < maxIter && len(m.units) > 0; iter++ {
+		if m.pool.Cancelled() {
+			m.interrupted = true
+			break
+		}
 		if iter > 0 {
 			m.units = m.intersect(m.units)
 			if len(m.units) == 0 {
 				break
 			}
-			for i := range m.units {
-				m.units[i].score = m.scorer.Influence(m.units[i].pred)
+			m.scoreUnits()
+			if m.interrupted {
+				break // partial scores must not feed best-so-far updates
 			}
 		}
 		genBest := math.Inf(-1)
@@ -285,8 +335,11 @@ func (m *runner) run() (*Result, error) {
 		}
 		// Line 15: retain units contained in some winner.
 		winnerRows := make([]*relation.RowSet, len(winners))
-		for i, w := range winners {
-			winnerRows[i] = w.Pred.Eval(m.task.Table, m.gO)
+		if err := m.pool.ForEach(len(winners), func(i int) {
+			winnerRows[i] = winners[i].Pred.Eval(m.task.Table, m.gO)
+		}); err != nil {
+			m.interrupted = true
+			break
 		}
 		var kept []unit
 		for _, u := range m.units {
@@ -303,7 +356,13 @@ func (m *runner) run() (*Result, error) {
 			prevBest = top.Score
 		}
 	}
+	res.Interrupted = m.interrupted || m.pool.Cancelled()
 	if !haveGlobal {
+		if res.Interrupted {
+			// Cancelled before the first generation completed: return the
+			// (empty) partial result rather than an error.
+			return res, nil
+		}
 		return nil, fmt.Errorf("mc: search produced no candidates")
 	}
 	res.Best = global
@@ -315,16 +374,21 @@ func (m *runner) run() (*Result, error) {
 
 // prune drops units whose optimistic bounds cannot beat the generation's
 // best score (see package comment). Both bounds are unweighted (no λ, no
-// hold-out penalty), making them true upper bounds of the objective.
+// hold-out penalty), making them true upper bounds of the objective. The
+// bound computations fan out over the pool; the keep/drop filter runs on
+// the coordinating goroutine, preserving unit order. A cancellation
+// mid-computation skips pruning entirely (keeping extra units is always
+// sound) and lets the main loop observe the interruption.
 func (m *runner) prune(units []unit, bestScore float64) []unit {
 	if math.IsInf(bestScore, -1) {
 		return units
 	}
-	var kept []unit
-	for _, u := range units {
+	keep := make([]bool, len(units))
+	if err := m.pool.ForEach(len(units), func(i int) {
+		u := units[i]
 		if m.scorer.InfluenceOutliersOnly(u.pred) >= bestScore {
-			kept = append(kept, u)
-			continue
+			keep[i] = true
+			return
 		}
 		maxTuple := math.Inf(-1)
 		u.rows.ForEach(func(r int) {
@@ -332,7 +396,13 @@ func (m *runner) prune(units []unit, bestScore float64) []unit {
 				maxTuple = v
 			}
 		})
-		if maxTuple >= bestScore {
+		keep[i] = maxTuple >= bestScore
+	}); err != nil {
+		return units
+	}
+	var kept []unit
+	for i, u := range units {
+		if keep[i] {
 			kept = append(kept, u)
 		}
 	}

@@ -1,35 +1,25 @@
-package naive
+package mc
 
 import (
-	"context"
-
 	"github.com/scorpiondb/scorpion/internal/influence"
 	"github.com/scorpiondb/scorpion/internal/partition"
 	"github.com/scorpiondb/scorpion/internal/predicate"
 )
 
-// RunParallel is Run with scoring fanned out over worker goroutines.
-//
-// Deprecated: use RunContext, which adds cancellation on top of the same
-// worker pool (RunParallel is RunContext with a background context).
-func RunParallel(scorer *influence.Scorer, space *predicate.Space, params Params, workers int) (*Result, error) {
-	return RunContext(context.Background(), scorer, space, params, workers)
-}
-
-// searcher adapts the NAIVE search to the partition.Searcher interface.
+// searcher adapts the MC search to the partition.Searcher interface.
 type searcher struct {
 	scorer *influence.Scorer
 	space  *predicate.Space
 	params Params
 }
 
-// NewSearcher wraps a NAIVE search as a partition.Searcher driven by the
+// NewSearcher wraps an MC search as a partition.Searcher driven by the
 // shared worker-pool runner.
 func NewSearcher(scorer *influence.Scorer, space *predicate.Space, params Params) partition.Searcher {
 	return &searcher{scorer: scorer, space: space, params: params}
 }
 
-func (s *searcher) Name() string { return "naive" }
+func (s *searcher) Name() string { return "mc" }
 
 func (s *searcher) Search(pool *partition.Pool) (*partition.Outcome, error) {
 	res, err := runPool(pool, s.scorer, s.space, s.params)
@@ -37,8 +27,8 @@ func (s *searcher) Search(pool *partition.Pool) (*partition.Outcome, error) {
 		return nil, err
 	}
 	return &partition.Outcome{
-		Candidates:  res.TopK,
-		Work:        res.Enumerated,
+		Candidates:  res.Candidates,
+		Work:        int64(res.Iterations),
 		Interrupted: res.Interrupted,
 	}, nil
 }

@@ -1,0 +1,87 @@
+package naive
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/partition"
+)
+
+// identicalCandidates fails unless the two lists agree exactly: same
+// predicates in the same order with bit-identical scores.
+func identicalCandidates(t *testing.T, serial, parallel []partition.Candidate) {
+	t.Helper()
+	if len(serial) != len(parallel) {
+		t.Fatalf("candidate counts differ: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Pred.Key() != parallel[i].Pred.Key() {
+			t.Fatalf("candidate %d predicate differs: serial %s, parallel %s",
+				i, serial[i].Pred.Key(), parallel[i].Pred.Key())
+		}
+		if serial[i].Score != parallel[i].Score {
+			t.Fatalf("candidate %d score differs: serial %v, parallel %v",
+				i, serial[i].Score, parallel[i].Score)
+		}
+	}
+}
+
+// TestParallelTopKIdenticalToSerial asserts the acceptance criterion for
+// NAIVE: the Workers=8 top-k is byte-identical to the serial run's — same
+// predicates, same order, bit-equal scores.
+func TestParallelTopKIdenticalToSerial(t *testing.T) {
+	scorer, space, _ := smallSetup(t, 0.1)
+	serial, err := Run(scorer, space, Params{Bins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		scorerP, spaceP, _ := smallSetup(t, 0.1)
+		par, err := RunContext(context.Background(), scorerP, spaceP, Params{Bins: 8}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalCandidates(t, serial.TopK, par.TopK)
+		if par.Interrupted {
+			t.Errorf("workers=%d: uncancelled run marked interrupted", workers)
+		}
+	}
+}
+
+// TestRunContextCancellation checks a cancelled context stops the search
+// promptly with the best-so-far results flagged interrupted.
+func TestRunContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		scorer, space, _ := smallSetup(t, 0.1)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		start := time.Now()
+		res, err := RunContext(ctx, scorer, space, Params{Bins: 15}, workers)
+		cancel()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !res.Interrupted {
+			t.Fatalf("workers=%d: cancelled run not marked interrupted", workers)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("workers=%d: cancellation took %s", workers, elapsed)
+		}
+	}
+}
+
+// TestSearcherInterface drives NAIVE through the shared runner.
+func TestSearcherInterface(t *testing.T) {
+	scorer, space, _ := smallSetup(t, 0.1)
+	s := NewSearcher(scorer, space, Params{Bins: 8})
+	if s.Name() != "naive" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	out, err := partition.RunSearch(context.Background(), 4, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Interrupted || len(out.Candidates) == 0 || out.Work == 0 {
+		t.Fatalf("unexpected outcome: %+v", out)
+	}
+}

@@ -6,10 +6,22 @@
 //
 // NAIVE makes no assumptions about the aggregate, so it is the fallback for
 // black-box user-defined aggregates.
+//
+// The search is cancellable and parallel: RunContext threads a
+// context.Context into the enumeration loop (cancellation returns the best
+// predicates found so far) and fans scoring out over a partition.Pool — the
+// parallelization the paper's §8.3.2 leaves to future work. All workers
+// share one influence.Scorer, which is safe for concurrent use. Parallel
+// top-k output is identical to the serial output: every enumerated
+// predicate carries its enumeration sequence number, and the top-k order is
+// (score descending, sequence ascending) on both paths.
 package naive
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"github.com/scorpiondb/scorpion/internal/influence"
@@ -57,20 +69,39 @@ type Result struct {
 	Best partition.Candidate
 	// TopK holds the best candidates in descending score order.
 	TopK []partition.Candidate
-	// Trace records every improvement with its wall-clock offset.
+	// Trace records every improvement with its wall-clock offset
+	// (single-worker runs only; improvement order is non-deterministic
+	// across workers).
 	Trace []TracePoint
-	// Enumerated counts scored predicates.
+	// Enumerated counts enumerated predicates.
 	Enumerated int64
-	// TimedOut reports whether the deadline cut the search short.
+	// TimedOut reports whether the Deadline cut the search short.
 	TimedOut bool
+	// Interrupted reports whether context cancellation cut the search
+	// short; TopK then holds the best predicates found so far.
+	Interrupted bool
 }
 
-// Run exhaustively searches the predicate space over the given attributes.
+// Run exhaustively searches the predicate space over the given attributes,
+// serially and without cancellation.
 //
 // Clause domains are derived from the union of the outlier input groups
 // (g_O): a predicate that matches no outlier tuple cannot have positive
 // influence, so values appearing only outside g_O are not enumerated.
 func Run(scorer *influence.Scorer, space *predicate.Space, params Params) (*Result, error) {
+	return RunContext(context.Background(), scorer, space, params, 1)
+}
+
+// RunContext is Run with cancellation and a worker budget: the enumeration
+// checks ctx periodically and, once cancelled, stops and returns the best
+// candidates found so far with Result.Interrupted set. workers > 1 fans
+// scoring out over a shared pool; workers <= 0 uses GOMAXPROCS.
+func RunContext(ctx context.Context, scorer *influence.Scorer, space *predicate.Space, params Params, workers int) (*Result, error) {
+	return runPool(partition.NewPool(ctx, workers), scorer, space, params)
+}
+
+// runPool is the search core shared by every entry point.
+func runPool(pool *partition.Pool, scorer *influence.Scorer, space *predicate.Space, params Params) (*Result, error) {
 	params = params.withDefaults()
 	task := scorer.Task()
 
@@ -91,24 +122,81 @@ func Run(scorer *influence.Scorer, space *predicate.Space, params Params) (*Resu
 	}
 
 	e := &enumerator{
-		scorer:  scorer,
-		params:  params,
-		start:   time.Now(),
-		sets:    clauseSets,
-		res:     &Result{},
-		checkAt: 64,
+		params: params,
+		start:  time.Now(),
+		sets:   clauseSets,
+		pool:   pool,
 	}
-	// Increasing complexity: discrete subset size first, then clause count.
-	for size := 1; size <= maxCard && !e.done; size++ {
-		for nAttrs := 1; nAttrs <= maxClauses && !e.done; nAttrs++ {
-			e.enumerate(0, nAttrs, size, nil)
+	res := &Result{}
+
+	if pool.Workers() <= 1 {
+		// Serial: score inline, record the convergence trace.
+		keeper := topkKeeper{k: params.TopK}
+		e.sink = func(p predicate.Predicate, seq int64) {
+			score := scorer.Influence(p)
+			if len(res.Trace) == 0 || score > res.Trace[len(res.Trace)-1].Score {
+				res.Trace = append(res.Trace, TracePoint{
+					Elapsed: time.Since(e.start),
+					Score:   score,
+					Pred:    p,
+				})
+			}
+			keeper.consider(scoredPred{partition.Candidate{Pred: p, Score: score}, seq})
 		}
+		e.run(maxCard, maxClauses)
+		res.TopK = keeper.ranked()
+	} else {
+		// Parallel: stream predicate batches to the pool's workers, all
+		// sharing one scorer. Each batch reduces to a local top-k which is
+		// folded into the global keeper under a brief lock; (score, seq)
+		// ordering makes the final list independent of arrival order.
+		const batchSize = 256
+		type item struct {
+			p   predicate.Predicate
+			seq int64
+		}
+		var mu sync.Mutex
+		global := topkKeeper{k: params.TopK}
+		submit, wait := partition.Stream(pool, func(batch []item) {
+			local := topkKeeper{k: params.TopK}
+			for _, it := range batch {
+				local.consider(scoredPred{partition.Candidate{Pred: it.p, Score: scorer.Influence(it.p)}, it.seq})
+			}
+			mu.Lock()
+			for _, s := range local.list {
+				global.consider(s)
+			}
+			mu.Unlock()
+		})
+		var batch []item
+		e.sink = func(p predicate.Predicate, seq int64) {
+			batch = append(batch, item{p, seq})
+			if len(batch) >= batchSize {
+				submit(batch)
+				batch = nil
+			}
+		}
+		e.run(maxCard, maxClauses)
+		if len(batch) > 0 {
+			submit(batch)
+		}
+		wait()
+		// Batches in flight at cancellation time are dropped by the stream
+		// workers, so a cancelled run is partial even when enumeration
+		// finished.
+		if pool.Cancelled() {
+			e.interrupted = true
+		}
+		res.TopK = global.ranked()
 	}
-	partition.SortByScore(e.res.TopK)
-	if best, ok := partition.Top(e.res.TopK); ok {
-		e.res.Best = best
+
+	res.Enumerated = e.produced
+	res.TimedOut = e.timedOut
+	res.Interrupted = e.interrupted
+	if best, ok := partition.Top(res.TopK); ok {
+		res.Best = best
 	}
-	return e.res, nil
+	return res, nil
 }
 
 // unionRows returns g_O, the union of the outlier input groups.
@@ -182,18 +270,32 @@ func binRanges(col int, name string, lo, hi float64, bins int) []predicate.Claus
 	return out
 }
 
-// enumerator walks attribute combinations and clause choices.
+// checkInterval is how many emitted predicates pass between deadline and
+// cancellation checks.
+const checkInterval = 64
+
+// enumerator walks attribute combinations and clause choices, handing each
+// assembled predicate (with its sequence number) to sink.
 type enumerator struct {
-	scorer  *influence.Scorer
-	params  Params
-	start   time.Time
-	sets    []attrClauses
-	res     *Result
-	done    bool
-	checkAt int64
-	// sink, when set, diverts assembled predicates to the caller instead of
-	// scoring them inline (used by RunParallel's producer).
-	sink func(predicate.Predicate)
+	params      Params
+	start       time.Time
+	sets        []attrClauses
+	pool        *partition.Pool
+	done        bool
+	timedOut    bool
+	interrupted bool
+	produced    int64
+	sink        func(p predicate.Predicate, seq int64)
+}
+
+// run drives the increasing-complexity passes: discrete subset size first,
+// then clause count.
+func (e *enumerator) run(maxCard, maxClauses int) {
+	for size := 1; size <= maxCard && !e.done; size++ {
+		for nAttrs := 1; nAttrs <= maxClauses && !e.done; nAttrs++ {
+			e.enumerate(0, nAttrs, size, nil)
+		}
+	}
 }
 
 // enumerate recursively picks nAttrs attributes from sets[from:], assigning
@@ -243,9 +345,10 @@ func (e *enumerator) enumerateSubsets(set attrClauses, size, minSize, from int, 
 	}
 }
 
-// emit scores a fully-assembled predicate, de-duplicating across complexity
-// passes: a predicate is scored only in the pass equal to its largest
-// discrete clause (or pass 1 when it has none).
+// emit hands a fully-assembled predicate to the sink, de-duplicating across
+// complexity passes: a predicate is emitted only in the pass equal to its
+// largest discrete clause (or pass 1 when it has none). Every
+// checkInterval emissions it polls the deadline and the pool's context.
 func (e *enumerator) emit(clauses []predicate.Clause, size int) {
 	maxDiscrete := 0
 	for _, c := range clauses {
@@ -262,44 +365,70 @@ func (e *enumerator) emit(clauses []predicate.Clause, size int) {
 	}
 
 	p := predicate.MustNew(clauses...)
-	if e.sink != nil {
-		e.sink(p)
-		return
-	}
-	score := e.scorer.Influence(p)
-	e.res.Enumerated++
+	seq := e.produced
+	e.produced++
+	e.sink(p, seq)
 
-	if len(e.res.Trace) == 0 || score > e.res.Trace[len(e.res.Trace)-1].Score {
-		e.res.Trace = append(e.res.Trace, TracePoint{
-			Elapsed: time.Since(e.start),
-			Score:   score,
-			Pred:    p,
-		})
-	}
-	e.keepTopK(partition.Candidate{Pred: p, Score: score})
-
-	if e.res.Enumerated%e.checkAt == 0 && e.params.Deadline > 0 &&
-		time.Since(e.start) > e.params.Deadline {
-		e.res.TimedOut = true
-		e.done = true
+	if e.produced%checkInterval == 0 {
+		if e.params.Deadline > 0 && time.Since(e.start) > e.params.Deadline {
+			e.timedOut = true
+			e.done = true
+		}
+		if e.pool.Cancelled() {
+			e.interrupted = true
+			e.done = true
+		}
 	}
 }
 
-// keepTopK inserts the candidate into the bounded best list.
-func (e *enumerator) keepTopK(c partition.Candidate) {
-	top := e.res.TopK
-	if len(top) < e.params.TopK {
-		e.res.TopK = append(top, c)
+// scoredPred couples a candidate with its enumeration sequence number — the
+// tie-break that makes parallel and serial top-k selections identical.
+type scoredPred struct {
+	cand partition.Candidate
+	seq  int64
+}
+
+// outranks reports whether a strictly precedes b in the result order:
+// higher score first, earlier enumeration on ties. Sequence numbers are
+// unique, so this is a strict total order and the top-k of any emission set
+// is unique and independent of scoring order.
+func (a scoredPred) outranks(b scoredPred) bool {
+	if a.cand.Score != b.cand.Score {
+		return a.cand.Score > b.cand.Score
+	}
+	return a.seq < b.seq
+}
+
+// topkKeeper is a bounded best-candidates list under the outranks order.
+// Its contents after considering any set of entries are the set's unique
+// top k, regardless of arrival order.
+type topkKeeper struct {
+	k    int
+	list []scoredPred
+}
+
+func (t *topkKeeper) consider(s scoredPred) {
+	if len(t.list) < t.k {
+		t.list = append(t.list, s)
 		return
 	}
-	// Replace the current minimum if the newcomer beats it.
-	minIdx := 0
-	for i := 1; i < len(top); i++ {
-		if top[i].Score < top[minIdx].Score {
-			minIdx = i
+	worst := 0
+	for i := 1; i < len(t.list); i++ {
+		if t.list[worst].outranks(t.list[i]) {
+			worst = i
 		}
 	}
-	if c.Score > top[minIdx].Score {
-		top[minIdx] = c
+	if s.outranks(t.list[worst]) {
+		t.list[worst] = s
 	}
+}
+
+// ranked returns the kept candidates in result order.
+func (t *topkKeeper) ranked() []partition.Candidate {
+	sort.Slice(t.list, func(i, j int) bool { return t.list[i].outranks(t.list[j]) })
+	out := make([]partition.Candidate, len(t.list))
+	for i, s := range t.list {
+		out[i] = s.cand
+	}
+	return out
 }

@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(context.Background(), workers)
+		const n = 500
+		hits := make([]atomic.Int32, n)
+		if err := p.ForEach(n, func(i int) { hits[i].Add(1) }); err != nil {
+			t.Fatalf("workers=%d: ForEach error %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachStopsOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		p := NewPool(ctx, workers)
+		var ran atomic.Int64
+		err := p.ForEach(1_000_000, func(i int) {
+			if ran.Add(1) == 100 {
+				cancel()
+			}
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: ForEach error = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1_000_000 {
+			t.Fatalf("workers=%d: cancellation did not stop the loop (ran %d)", workers, n)
+		}
+		cancel()
+	}
+}
+
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewPool(ctx, 4)
+	var ran atomic.Int64
+	if err := p.ForEach(100, func(i int) { ran.Add(1) }); err != context.Canceled {
+		t.Fatalf("ForEach error = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("pre-cancelled ForEach ran %d tasks, want 0", n)
+	}
+}
+
+func TestStreamProcessesAllItems(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(context.Background(), workers)
+		var sum atomic.Int64
+		submit, wait := Stream(p, func(v int) { sum.Add(int64(v)) })
+		want := int64(0)
+		for i := 1; i <= 200; i++ {
+			submit(i)
+			want += int64(i)
+		}
+		wait()
+		if got := sum.Load(); got != want {
+			t.Fatalf("workers=%d: stream sum = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestStreamSubmitDoesNotBlockAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(ctx, 1)
+	block := make(chan struct{})
+	submit, wait := Stream(p, func(int) { <-block })
+	// Saturate the worker plus the channel buffer (workers*2) without
+	// blocking: one item is held by the stalled worker, two sit buffered.
+	for i := 0; i < 3; i++ {
+		submit(i)
+	}
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			submit(i) // must drop, not block
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("submit blocked after cancellation")
+	}
+	close(block)
+	wait()
+}
+
+func TestRunSearchPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := RunSearch(ctx, 4, failingSearcher{})
+	if err != nil {
+		t.Fatalf("RunSearch error = %v", err)
+	}
+	if !out.Interrupted {
+		t.Fatal("pre-cancelled RunSearch outcome not marked interrupted")
+	}
+}
+
+// failingSearcher fails the test if Search is ever invoked.
+type failingSearcher struct{}
+
+func (failingSearcher) Name() string { return "failing" }
+func (failingSearcher) Search(*Pool) (*Outcome, error) {
+	panic("Search called on a pre-cancelled context")
+}

@@ -14,9 +14,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	scorpion "github.com/scorpiondb/scorpion"
@@ -26,8 +29,14 @@ import (
 type Server struct {
 	table *scorpion.Table
 	mux   *http.ServeMux
-	// ExplainTimeout bounds one explanation request (0 = none).
+	// ExplainTimeout bounds one explanation request (0 = none). The
+	// deadline is enforced through the search's context: when it passes,
+	// the running search itself stops (rather than being abandoned in a
+	// goroutine) and the client receives a 504 JSON error.
 	ExplainTimeout time.Duration
+	// Workers is the default worker-pool size for explanation searches
+	// (0 = serial); per-request "workers" overrides it.
+	Workers int
 }
 
 // New builds a server around the given table.
@@ -104,6 +113,7 @@ type ExplainRequest struct {
 	Lambda           *float64 `json:"lambda,omitempty"`
 	Algorithm        string   `json:"algorithm,omitempty"` // auto|naive|dt|mc
 	TopK             int      `json:"top_k,omitempty"`
+	Workers          int      `json:"workers,omitempty"` // search worker pool (0 = server default)
 }
 
 // ExplanationJSON is one ranked explanation.
@@ -129,6 +139,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		AllOthersHoldOut: req.AllOthersHoldOut,
 		Attributes:       req.Attributes,
 		TopK:             req.TopK,
+		Workers:          req.Workers,
+	}
+	if sreq.Workers == 0 {
+		sreq.Workers = s.Workers
+	}
+	// Clamp the client-supplied knob: workers beyond the host's parallelism
+	// cannot help, and an absurd value must not allocate goroutines.
+	if maxW := runtime.GOMAXPROCS(0); sreq.Workers > maxW {
+		sreq.Workers = maxW
 	}
 	switch req.Direction {
 	case "", "high":
@@ -159,33 +178,33 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		sreq.Lambda = *req.Lambda
 	}
 
-	type outcome struct {
-		res *scorpion.Result
-		err error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		res, err := scorpion.Explain(sreq)
-		done <- outcome{res, err}
-	}()
-	var out outcome
+	// The request context already cancels on client disconnect and server
+	// shutdown; layer the explanation deadline on top, and let the search
+	// itself observe both through ExplainContext.
+	ctx := r.Context()
 	if s.ExplainTimeout > 0 {
-		select {
-		case out = <-done:
-		case <-time.After(s.ExplainTimeout):
-			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("explanation exceeded %s", s.ExplainTimeout))
-			return
-		}
-	} else {
-		out = <-done
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.ExplainTimeout)
+		defer cancel()
 	}
-	if out.err != nil {
-		writeError(w, http.StatusBadRequest, out.err)
+	res, err := scorpion.ExplainContext(ctx, sreq)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("explanation exceeded %s", s.ExplainTimeout))
+		case errors.Is(err, context.Canceled):
+			// Either the client went away (the write below goes nowhere) or
+			// the server is shutting down while the client still listens —
+			// answer 503 so a drained connection never sees an empty 200.
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("explanation canceled"))
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 
-	explanations := make([]ExplanationJSON, 0, len(out.res.Explanations))
-	for _, e := range out.res.Explanations {
+	explanations := make([]ExplanationJSON, 0, len(res.Explanations))
+	for _, e := range res.Explanations {
 		explanations = append(explanations, ExplanationJSON{
 			Where:             e.Where,
 			Influence:         e.Influence,
@@ -195,9 +214,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"algorithm":    out.res.Stats.Algorithm.String(),
-		"duration_ms":  out.res.Stats.Duration.Milliseconds(),
-		"scorer_calls": out.res.Stats.ScorerCalls,
+		"algorithm":    res.Stats.Algorithm.String(),
+		"duration_ms":  res.Stats.Duration.Milliseconds(),
+		"scorer_calls": res.Stats.ScorerCalls,
 		"explanations": explanations,
 	})
 }

@@ -2,11 +2,14 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	scorpion "github.com/scorpiondb/scorpion"
 )
@@ -175,5 +178,136 @@ func TestMethodRouting(t *testing.T) {
 	srv.ServeHTTP(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET /explain status = %d", rec.Code)
+	}
+}
+
+// bigTable builds a synthetic dataset large enough that a NAIVE search over
+// several continuous attributes takes far longer than the test timeout.
+func bigTable(t *testing.T) *scorpion.Table {
+	t.Helper()
+	schema, err := scorpion.NewSchema(
+		scorpion.Column{Name: "grp", Kind: scorpion.Discrete},
+		scorpion.Column{Name: "a1", Kind: scorpion.Continuous},
+		scorpion.Column{Name: "a2", Kind: scorpion.Continuous},
+		scorpion.Column{Name: "a3", Kind: scorpion.Continuous},
+		scorpion.Column{Name: "v", Kind: scorpion.Continuous},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := scorpion.NewBuilder(schema)
+	for g := 0; g < 4; g++ {
+		key := []string{"g0", "g1", "g2", "g3"}[g]
+		for i := 0; i < 800; i++ {
+			v := 10.0
+			if g >= 2 && i%7 == 0 {
+				v = 90
+			}
+			b.MustAppend(scorpion.Row{
+				scorpion.S(key),
+				scorpion.F(float64(i % 100)),
+				scorpion.F(float64((i * 13) % 100)),
+				scorpion.F(float64((i * 29) % 100)),
+				scorpion.F(v),
+			})
+		}
+	}
+	return b.Build()
+}
+
+// TestExplainTimeoutInterruptsSearch proves ExplainTimeout now cancels a
+// running NAIVE search through the context path: a tiny timeout against a
+// large table returns a 504 JSON error promptly instead of hanging until
+// the search finishes.
+func TestExplainTimeoutInterruptsSearch(t *testing.T) {
+	srv := New(bigTable(t))
+	srv.ExplainTimeout = 50 * time.Millisecond
+
+	start := time.Now()
+	rec := postJSON(t, srv, "/explain", map[string]any{
+		"sql":                "SELECT avg(v), grp FROM t GROUP BY grp",
+		"outliers":           []string{"g2", "g3"},
+		"all_others_holdout": true,
+		"algorithm":          "naive",
+	})
+	elapsed := time.Since(start)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want %d (body %s)", rec.Code, http.StatusGatewayTimeout, rec.Body.String())
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("non-JSON error body: %v", err)
+	}
+	if body["error"] == "" {
+		t.Fatal("timeout response carries no error field")
+	}
+	// The old goroutine+channel timeout also returned 504 quickly, but the
+	// search kept running; with the context path the handler returns only
+	// after the search actually stopped. Either way the response must not
+	// wait for the full exhaustive search (which takes minutes).
+	if elapsed > 10*time.Second {
+		t.Fatalf("timeout took %s, want prompt interruption", elapsed)
+	}
+}
+
+// TestExplainWorkersField checks the per-request workers knob is accepted
+// and produces the same explanations as a serial request.
+func TestExplainWorkersField(t *testing.T) {
+	srv := New(testTable(t))
+	req := map[string]any{
+		"sql":                "SELECT avg(temp), time FROM readings GROUP BY time",
+		"outliers":           []string{"12PM", "1PM"},
+		"all_others_holdout": true,
+	}
+	serial := postJSON(t, srv, "/explain", req)
+	req["workers"] = 8
+	parallel := postJSON(t, srv, "/explain", req)
+	if serial.Code != http.StatusOK || parallel.Code != http.StatusOK {
+		t.Fatalf("status serial=%d parallel=%d", serial.Code, parallel.Code)
+	}
+	var a, b struct {
+		Explanations []ExplanationJSON `json:"explanations"`
+	}
+	if err := json.Unmarshal(serial.Body.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(parallel.Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Explanations) == 0 {
+		t.Fatal("no explanations")
+	}
+	if !reflect.DeepEqual(a.Explanations, b.Explanations) {
+		t.Fatalf("parallel explanations differ:\nserial   %+v\nparallel %+v", a.Explanations, b.Explanations)
+	}
+}
+
+// TestExplainClientDisconnect checks a cancelled request context stops the
+// search without writing a response.
+func TestExplainClientDisconnect(t *testing.T) {
+	srv := New(bigTable(t))
+	data, err := json.Marshal(map[string]any{
+		"sql":                "SELECT avg(v), grp FROM t GROUP BY grp",
+		"outliers":           []string{"g2", "g3"},
+		"all_others_holdout": true,
+		"algorithm":          "naive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/explain", bytes.NewReader(data)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeHTTP(rec, req)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after client disconnect")
 	}
 }

@@ -21,6 +21,16 @@
 // (AVG, STDDEV, ...), and the bottom-up MC subspace search for independent
 // anti-monotonic aggregates (SUM, COUNT). See the Request.Algorithm knob to
 // force a choice, and Request.C for the §7 influence/selectivity trade-off.
+//
+// # Cancellation and parallelism
+//
+// ExplainContext threads a context.Context through every search loop: a
+// cancelled or expired context stops the search promptly and returns the
+// best explanations found so far alongside the context error. Request.
+// Workers fans all three algorithms out over a shared worker pool — the
+// parallelization §8.3.2 of the paper leaves to future work — with output
+// identical to the serial run. (Request.NaiveWorkers is the deprecated,
+// NAIVE-only spelling of the same knob.)
 package scorpion
 
 import (

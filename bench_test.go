@@ -13,6 +13,7 @@ package scorpion
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -241,6 +242,12 @@ func BenchmarkExplainParallel(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+				// Record the host parallelism with every run (after the
+				// loop — ResetTimer deletes reported metrics): the scaling
+				// numbers are only meaningful relative to it (a 1-CPU
+				// container caps speedup at 1.0), so BENCH_parallel.json
+				// re-records carry the caveat machine-readably.
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 			})
 		}
 	}

@@ -1,22 +1,33 @@
-// Command scorpion-server serves a dataset through Scorpion's JSON API —
-// the backend half of the paper's end-to-end exploration tool (Figure 2).
+// Command scorpion-server serves datasets through Scorpion's JSON API —
+// the backend half of the paper's end-to-end exploration tool (Figure 2),
+// grown into a multi-table serving process: a catalog of named tables and
+// an async explain job service scheduled against one global worker budget.
 //
 // Usage:
 //
-//	scorpion-server -csv readings.csv -addr :8080 -workers 4
+//	scorpion-server -csv readings.csv -csv expenses=q3.csv \
+//	    -data-dir ./datasets -addr :8080 -max-workers 8
 //
-//	curl localhost:8080/schema
+//	curl localhost:8080/tables
+//	curl 'localhost:8080/schema?table=readings'
 //	curl -X POST localhost:8080/query \
-//	     -d '{"sql":"SELECT stddev(temp), hour FROM readings GROUP BY hour"}'
+//	     -d '{"table":"readings","sql":"SELECT stddev(temp), hour FROM readings GROUP BY hour"}'
 //	curl -X POST localhost:8080/explain \
-//	     -d '{"sql":"SELECT stddev(temp), hour FROM readings GROUP BY hour",
+//	     -d '{"table":"readings","sql":"SELECT stddev(temp), hour FROM readings GROUP BY hour",
 //	          "outliers":["h012","h013"],"all_others_holdout":true}'
 //
-// Explanation searches run under the request's context: they stop when the
-// -explain-timeout deadline passes (returning a 504 JSON error) or when the
-// client disconnects. On SIGINT/SIGTERM the server shuts down gracefully —
-// it stops accepting connections, cancels in-flight searches, and waits
-// (up to -shutdown-timeout) for handlers to drain.
+// Long searches can run as jobs instead of holding the connection:
+//
+//	curl -X POST localhost:8080/jobs -d '{...same body...}'   → {"job_id":...}
+//	curl localhost:8080/jobs/job-1                            → status + best-so-far
+//	curl -X DELETE localhost:8080/jobs/job-1                  → cancel
+//
+// Every explanation — sync or async — is admitted FIFO against the
+// -max-workers budget; at most -queue-depth jobs wait (429 beyond that).
+// The -explain-timeout deadline bounds each search once it starts. On
+// SIGINT/SIGTERM the server shuts down gracefully — it stops accepting
+// connections, cancels queued and running jobs, and waits (up to
+// -shutdown-timeout) for handlers to drain.
 package main
 
 import (
@@ -29,41 +40,79 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
-	scorpion "github.com/scorpiondb/scorpion"
+	"github.com/scorpiondb/scorpion/internal/catalog"
+	"github.com/scorpiondb/scorpion/internal/jobs"
 	"github.com/scorpiondb/scorpion/internal/server"
 )
 
+// csvFlags collects repeated -csv values of the form "name=path" or "path"
+// (name derived from the file's base name).
+type csvFlags []string
+
+func (c *csvFlags) String() string { return strings.Join(*c, ", ") }
+func (c *csvFlags) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
 func main() {
+	var csvs csvFlags
 	var (
-		csvPath   = flag.String("csv", "", "dataset to serve (CSV with header)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		timeout   = flag.Duration("explain-timeout", 2*time.Minute, "per-request explanation deadline")
-		workers   = flag.Int("workers", 0, "default search worker pool (0 = serial, -1 = GOMAXPROCS)")
-		drainTime = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
+		addr       = flag.String("addr", ":8080", "listen address")
+		dataDir    = flag.String("data-dir", "", "load every *.csv in this directory as a table")
+		timeout    = flag.Duration("explain-timeout", 2*time.Minute, "per-search explanation deadline (runs, not queue wait)")
+		workers    = flag.Int("workers", 0, "default per-search worker grant (0 = serial, -1 = GOMAXPROCS)")
+		maxWorkers = flag.Int("max-workers", 0, "global worker budget shared by all concurrent searches (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 64, "max waiting explain jobs before 429")
+		maxUpload  = flag.Int64("max-upload", 0, "max POST /tables body bytes (0 = 256 MiB)")
+		drainTime  = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 	)
+	flag.Var(&csvs, "csv", "dataset to serve, as name=path or path (repeatable)")
 	flag.Parse()
-	if *csvPath == "" {
+	if len(csvs) == 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "need at least one -csv name=path or a -data-dir")
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*csvPath)
-	if err != nil {
-		log.Fatal(err)
+
+	cat := catalog.New()
+	for _, spec := range csvs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			name, path = "", spec
+		}
+		e, err := cat.LoadCSVFile(name, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded table %q: %d rows × %d columns (%s)", e.Name, e.Rows(), e.Columns(), path)
 	}
-	table, err := scorpion.ReadCSV(f, scorpion.CSVOptions{})
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
+	if *dataDir != "" {
+		entries, err := cat.LoadDir(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			log.Printf("loaded table %q: %d rows × %d columns (%s)", e.Name, e.Rows(), e.Columns(), e.Source)
+		}
 	}
-	srv := server.New(table)
+	if cat.Len() == 0 {
+		log.Fatalf("no tables loaded (is %s empty?)", *dataDir)
+	}
+
+	sched := jobs.New(jobs.Options{Budget: *maxWorkers, QueueCap: *queueDepth})
+	srv := server.NewCatalog(cat, sched)
 	srv.ExplainTimeout = *timeout
 	srv.Workers = *workers
+	srv.MaxUploadBytes = *maxUpload
 
 	// Request contexts derive from the signal context, so a shutdown also
-	// cancels every in-flight explanation search.
+	// cancels every in-flight handler; closing the server cancels queued
+	// and running jobs through the scheduler.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	httpSrv := &http.Server{
@@ -76,6 +125,7 @@ func main() {
 		defer close(drained)
 		<-ctx.Done()
 		fmt.Println("\nshutting down...")
+		srv.Close()
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTime)
 		defer cancel()
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
@@ -83,8 +133,8 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("serving %d rows × %d columns on %s\n",
-		table.NumRows(), table.Schema().NumColumns(), *addr)
+	fmt.Printf("serving %d table(s) on %s (worker budget %d, queue depth %d)\n",
+		cat.Len(), *addr, sched.Budget(), *queueDepth)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

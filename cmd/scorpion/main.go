@@ -12,6 +12,15 @@
 // followed by the ranked explanation predicates. The search is fanned out
 // over -workers goroutines and runs under a context: Ctrl-C (or -timeout)
 // stops it promptly and prints the best explanations found so far.
+//
+// With -server the tool talks to a running scorpion-server instead of
+// loading a CSV: -table picks the dataset from the server's catalog, and
+// -async submits the search as a job, polls its best-so-far results while
+// it runs, and cancels it (keeping the partial answer) on Ctrl-C:
+//
+//	scorpion -server http://localhost:8080 -table readings -async \
+//	   -sql "SELECT stddev(temp), hour FROM readings GROUP BY hour" \
+//	   -outliers h012,h013 -all-others
 package main
 
 import (
@@ -56,9 +65,80 @@ func run(ctx context.Context, args []string) error {
 		showQuery = fs.Bool("show-query", true, "print the aggregate query result first")
 		workers   = fs.Int("workers", 0, "search worker pool (0 = serial, -1 = GOMAXPROCS)")
 		timeout   = fs.Duration("timeout", 0, "search deadline (0 = none); best-so-far results are printed on expiry")
+		serverURL = fs.String("server", "", "base URL of a running scorpion-server (explain remotely instead of loading a CSV)")
+		table     = fs.String("table", "", "table name in the server's catalog (with -server; empty = its only table)")
+		asyncMode = fs.Bool("async", false, "with -server: enqueue as a job, poll best-so-far, cancel on Ctrl-C")
+		pollEvery = fs.Duration("poll", 500*time.Millisecond, "job poll interval with -async")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *serverURL == "" && (*table != "" || *asyncMode) {
+		return fmt.Errorf("-table and -async require -server")
+	}
+	if *serverURL != "" && *csvPath != "" {
+		return fmt.Errorf("-csv and -server are mutually exclusive (the server owns the data)")
+	}
+	if *serverURL != "" && *discrete != "" {
+		return fmt.Errorf("-discrete only applies to locally loaded CSVs; the server inferred its column kinds at load time")
+	}
+	if *serverURL != "" {
+		if *sqlText == "" || *outliers == "" {
+			fs.Usage()
+			return fmt.Errorf("-sql and -outliers are required")
+		}
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		body := map[string]any{
+			"table":    *table,
+			"sql":      *sqlText,
+			"outliers": splitList(*outliers),
+			"c":        *cKnob,
+			"lambda":   *lambda,
+		}
+		// Send workers only when the flag was given, preserving its local
+		// semantics: an explicit 0 means serial (a 1-worker grant), not
+		// "server default" as a literal 0 would on the wire; -1 stays
+		// GOMAXPROCS on both sides. An unset flag defers to the server.
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				w := *workers
+				if w == 0 {
+					w = 1
+				}
+				body["workers"] = w
+			}
+		})
+		if hs := splitList(*holdouts); len(hs) > 0 {
+			body["holdouts"] = hs
+		}
+		if *allOthers {
+			body["all_others_holdout"] = true
+		}
+		if d := strings.ToLower(*direction); d != "high" {
+			body["direction"] = d
+		}
+		if a := strings.ToLower(*algo); a != "auto" {
+			body["algorithm"] = a
+		}
+		if as := splitList(*attrs); len(as) > 0 {
+			body["attributes"] = as
+		}
+		if *topK != 5 {
+			body["top_k"] = *topK
+		}
+		return runRemote(ctx, remoteOptions{
+			base:      strings.TrimRight(*serverURL, "/"),
+			table:     *table,
+			async:     *asyncMode,
+			poll:      *pollEvery,
+			showQuery: *showQuery,
+			body:      body,
+			sql:       *sqlText,
+		})
 	}
 	if *csvPath == "" || *sqlText == "" || *outliers == "" {
 		fs.Usage()

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/plot"
+)
+
+// remoteOptions carries one explanation request aimed at a running
+// scorpion-server instead of a locally loaded CSV.
+type remoteOptions struct {
+	base      string // server base URL, e.g. http://localhost:8080
+	table     string // catalog table name ("" = server's only table)
+	async     bool   // submit as a job and poll best-so-far
+	poll      time.Duration
+	showQuery bool
+	body      map[string]any // the /explain request body
+	sql       string
+}
+
+// remoteExplanation mirrors the server's ExplanationJSON.
+type remoteExplanation struct {
+	Where     string  `json:"where"`
+	Influence float64 `json:"influence"`
+	Matched   int     `json:"matched_outlier_tuples"`
+}
+
+// remoteResult mirrors the server's /explain response body; Error captures
+// the {"error": ...} shape of non-200 answers.
+type remoteResult struct {
+	Algorithm       string              `json:"algorithm"`
+	DurationMS      int64               `json:"duration_ms"`
+	ScorerCalls     int64               `json:"scorer_calls"`
+	Explanations    []remoteExplanation `json:"explanations"`
+	Interrupted     bool                `json:"interrupted"`
+	InterruptReason string              `json:"interrupt_reason"`
+	Error           string              `json:"error"`
+}
+
+// jobView mirrors the fields of the server's /jobs/{id} response the CLI
+// uses.
+type jobView struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"`
+	Progress *struct {
+		ElapsedMS   int64 `json:"elapsed_ms"`
+		ScorerCalls int64 `json:"scorer_calls"`
+		Best        []struct {
+			Where     string  `json:"where"`
+			Influence float64 `json:"influence"`
+		} `json:"best"`
+		Version int64 `json:"version"`
+	} `json:"progress"`
+	Result *remoteResult `json:"result"`
+	Error  string        `json:"error"`
+}
+
+// runRemote drives an explanation against a running server: synchronously
+// through POST /explain, or as an async job polled for best-so-far results
+// and canceled (DELETE) when ctx fires.
+func runRemote(ctx context.Context, opts remoteOptions) error {
+	client := &http.Client{}
+	if opts.showQuery {
+		if err := remoteQuery(ctx, client, opts); err != nil {
+			return err
+		}
+	}
+	if !opts.async {
+		var res remoteResult
+		if code, err := postJSON(ctx, client, opts.base+"/explain", opts.body, &res); err != nil {
+			// A client-side -timeout (or Ctrl-C) kills the request; the
+			// server cancels the search but the partial answer stays on its
+			// side. Only the async path can retrieve it.
+			if ctx.Err() != nil {
+				return fmt.Errorf("request interrupted (%v); rerun with -async to keep best-so-far results on interrupt", ctx.Err())
+			}
+			return err
+		} else if code != http.StatusOK {
+			return fmt.Errorf("server: %s", httpErrorText(code, &res))
+		}
+		printRemoteResult(&res)
+		return nil
+	}
+
+	// Async: enqueue, poll, cancel on interrupt.
+	var accepted struct {
+		JobID string `json:"job_id"`
+		Poll  string `json:"poll"`
+		Error string `json:"error"`
+	}
+	if code, err := postJSON(ctx, client, opts.base+"/jobs", opts.body, &accepted); err != nil {
+		return err
+	} else if code != http.StatusAccepted {
+		if accepted.Error != "" {
+			return fmt.Errorf("server rejected job: %s (HTTP %d)", accepted.Error, code)
+		}
+		return fmt.Errorf("server rejected job (HTTP %d)", code)
+	}
+	fmt.Printf("job %s enqueued; polling every %s (Ctrl-C cancels the job)\n\n", accepted.JobID, opts.poll)
+
+	jobURL := opts.base + "/jobs/" + accepted.JobID
+	var lastVersion int64 = -1
+	canceled := false
+	for {
+		// Poll with a background-derived context: an interrupt must still
+		// let us cancel the job and fetch its final (partial) state.
+		var view jobView
+		if code, err := getJSON(context.Background(), client, jobURL, &view); err != nil {
+			return err
+		} else if code != http.StatusOK {
+			return fmt.Errorf("poll: HTTP %d", code)
+		}
+		if view.Progress != nil && view.Progress.Version != lastVersion {
+			lastVersion = view.Progress.Version
+			line := fmt.Sprintf("[%6.2fs] %s  scorer calls %d",
+				float64(view.Progress.ElapsedMS)/1000, view.Status, view.Progress.ScorerCalls)
+			if len(view.Progress.Best) > 0 {
+				b := view.Progress.Best[0]
+				line += fmt.Sprintf("  best %.4f WHERE %s", b.Influence, b.Where)
+			}
+			fmt.Println(line)
+		}
+		if terminalStatus(view.Status) {
+			fmt.Println()
+			if view.Result != nil {
+				printRemoteResult(view.Result)
+			}
+			switch view.Status {
+			case "done":
+				return nil
+			case "canceled":
+				fmt.Println("job canceled; results above are best-so-far")
+				return nil
+			case "timeout":
+				fmt.Println("job hit the server's explain deadline; results above are best-so-far")
+				return nil
+			default:
+				return fmt.Errorf("job %s: %s", view.Status, view.Error)
+			}
+		}
+		if canceled {
+			// ctx.Done is permanently ready now; sleep unconditionally so
+			// the wind-down polls stay paced instead of busy-spinning.
+			time.Sleep(opts.poll)
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			canceled = true
+			fmt.Println("\ncanceling job...")
+			final, err := deleteJob(client, jobURL)
+			if err != nil {
+				return err
+			}
+			if final != nil {
+				// The cancel raced the job's own completion: the server
+				// already removed the terminal job and handed back its
+				// final state, so finish from that instead of polling a
+				// now-404 id.
+				fmt.Println()
+				if final.Result != nil {
+					printRemoteResult(final.Result)
+				}
+				if final.Status != "done" {
+					fmt.Printf("job ended %s; results above are best-so-far\n", final.Status)
+				}
+				return nil
+			}
+			// Keep polling: the job winds down to a terminal state carrying
+			// its best-so-far result.
+		case <-time.After(opts.poll):
+		}
+	}
+}
+
+// remoteQuery prints the aggregate query result from the server, mirroring
+// the local -show-query plot.
+func remoteQuery(ctx context.Context, client *http.Client, opts remoteOptions) error {
+	var out struct {
+		Rows []struct {
+			Key   string  `json:"key"`
+			Value float64 `json:"value"`
+		} `json:"rows"`
+		Error string `json:"error"`
+	}
+	body := map[string]any{"table": opts.table, "sql": opts.sql}
+	if code, err := postJSON(ctx, client, opts.base+"/query", body, &out); err != nil {
+		return err
+	} else if code != http.StatusOK {
+		return fmt.Errorf("query: %s", out.Error)
+	}
+	fmt.Printf("query: %s\n\n", opts.sql)
+	points := make([]plot.Point, 0, len(out.Rows))
+	for _, row := range out.Rows {
+		points = append(points, plot.Point{Label: row.Key, Value: row.Value})
+	}
+	plot.Render(os.Stdout, points, plot.Options{MaxRows: 40})
+	fmt.Println()
+	return nil
+}
+
+func printRemoteResult(res *remoteResult) {
+	fmt.Printf("algorithm: %s   scorer calls: %d   elapsed: %s\n\n",
+		res.Algorithm, res.ScorerCalls, time.Duration(res.DurationMS)*time.Millisecond)
+	if res.Interrupted {
+		fmt.Printf("search interrupted (%s); showing best results so far\n\n", res.InterruptReason)
+	}
+	if len(res.Explanations) == 0 {
+		fmt.Println("no explanations found")
+		return
+	}
+	for i, e := range res.Explanations {
+		fmt.Printf("%2d. influence %10.4f  matches %6d tuples  WHERE %s\n",
+			i+1, e.Influence, e.Matched, e.Where)
+	}
+}
+
+func terminalStatus(s string) bool {
+	switch s {
+	case "done", "failed", "canceled", "timeout":
+		return true
+	}
+	return false
+}
+
+// postJSON posts v as JSON and decodes the response into out (which may
+// also capture an "error" field on non-200s).
+func postJSON(ctx context.Context, client *http.Client, url string, v any, out any) (int, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(client, req, out)
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return 0, err
+	}
+	return doJSON(client, req, out)
+}
+
+// deleteJob cancels (or, if already terminal, removes) the job. When the
+// server reports it removed a terminal job, the returned view carries that
+// job's final state; a nil view means cancellation is in flight and the
+// caller should keep polling.
+func deleteJob(client *http.Client, jobURL string) (*jobView, error) {
+	req, err := http.NewRequest("DELETE", jobURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Removed string   `json:"removed"`
+		Job     *jobView `json:"job"`
+	}
+	code, err := doJSON(client, req, &out)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("cancel: HTTP %d", code)
+	}
+	if out.Removed != "" {
+		return out.Job, nil
+	}
+	return nil, nil
+}
+
+func doJSON(client *http.Client, req *http.Request, out any) (int, error) {
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("bad server response (HTTP %d): %s",
+				resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// httpErrorText renders a non-200 /explain response for the user.
+func httpErrorText(code int, res *remoteResult) string {
+	if res.Error != "" {
+		return fmt.Sprintf("%s (HTTP %d)", res.Error, code)
+	}
+	return fmt.Sprintf("HTTP %d", code)
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	scorpion "github.com/scorpiondb/scorpion"
+	"github.com/scorpiondb/scorpion/internal/server"
+)
+
+// startServer serves the CSV at path through a real internal/server over
+// an httptest listener and returns its base URL.
+func startServer(t *testing.T, path string) string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	table, err := scorpion.ReadCSV(f, scorpion.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(table)
+	srv.ProgressInterval = 5 * time.Millisecond
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// writeBigCSV writes a dataset whose NAIVE search over three continuous
+// attributes takes far longer than these tests — the remote-cancel target.
+func writeBigCSV(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("grp,a1,a2,a3,v\n")
+	for g := 0; g < 4; g++ {
+		key := []string{"g0", "g1", "g2", "g3"}[g]
+		for i := 0; i < 800; i++ {
+			v := 10.0
+			if g >= 2 && i%7 == 0 {
+				v = 90
+			}
+			fmt.Fprintf(&sb, "%s,%d,%d,%d,%g\n", key, i%100, (i*13)%100, (i*29)%100, v)
+		}
+	}
+	path := t.TempDir() + "/big.csv"
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRemoteSync explains through a running server with -server.
+func TestRemoteSync(t *testing.T) {
+	url := startServer(t, writeCSV(t))
+	err := run(context.Background(), []string{
+		"-server", url,
+		"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+		"-outliers", "g2",
+		"-all-others",
+		"-c", "1",
+	})
+	if err != nil {
+		t.Fatalf("remote sync: %v", err)
+	}
+}
+
+// TestRemoteAsync submits a job, polls it to completion, and prints the
+// result.
+func TestRemoteAsync(t *testing.T) {
+	url := startServer(t, writeCSV(t))
+	err := run(context.Background(), []string{
+		"-server", url,
+		"-async",
+		"-poll", "10ms",
+		"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+		"-outliers", "g2",
+		"-all-others",
+		"-show-query=false",
+	})
+	if err != nil {
+		t.Fatalf("remote async: %v", err)
+	}
+}
+
+// TestRemoteAsyncCancel interrupts a long remote job (the Ctrl-C path):
+// the CLI cancels the job on the server and drains it to its terminal
+// best-so-far state instead of erroring out.
+func TestRemoteAsyncCancel(t *testing.T) {
+	url := startServer(t, writeBigCSV(t))
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-server", url,
+			"-async",
+			"-poll", "20ms",
+			"-algo", "naive",
+			"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+			"-outliers", "g2,g3",
+			"-all-others",
+			"-show-query=false",
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("canceled remote job: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("remote cancel did not drain the job")
+	}
+}
+
+// TestRemoteFlagValidation covers the new flag combinations.
+func TestRemoteFlagValidation(t *testing.T) {
+	csv := writeCSV(t)
+	cases := [][]string{
+		{"-table", "x"}, // -table without -server
+		{"-async"},      // -async without -server
+		{"-server", "http://localhost:1", "-csv", csv, "-sql", "q", "-outliers", "g"}, // both sources
+		{"-server", "http://localhost:1"},                                             // missing sql/outliers
+	}
+	for i, args := range cases {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

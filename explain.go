@@ -104,6 +104,15 @@ type Request struct {
 	// TopK bounds the returned explanations (default 5).
 	TopK int
 
+	// OnProgress, when non-nil, is invoked periodically while the search
+	// runs with a best-so-far snapshot: elapsed time, scorer calls, and the
+	// top candidates published so far. It is called from a monitor
+	// goroutine (never after ExplainContext returns) and must not block for
+	// long — the async job service uses it to answer polls mid-search.
+	OnProgress func(Progress)
+	// ProgressInterval is the OnProgress sampling period; 0 means 200ms.
+	ProgressInterval time.Duration
+
 	// NaiveParams, DTParams, MCParams and MergeParams override algorithm
 	// tuning knobs when non-nil.
 	NaiveParams *naive.Params
@@ -138,6 +147,31 @@ type Explanation struct {
 	HoldOutPenalty float64
 	// InfluencesHoldOut marks explanations that perturb a hold-out result.
 	InfluencesHoldOut bool
+}
+
+// Progress is a best-so-far snapshot of a running search, delivered to
+// Request.OnProgress. Snapshots are monotone: BestScore never decreases
+// across deliveries, and Version increases whenever Best changed.
+type Progress struct {
+	// Elapsed is the wall-clock time since the search started.
+	Elapsed time.Duration
+	// ScorerCalls counts influence evaluations so far.
+	ScorerCalls int64
+	// Best holds the current best-so-far predicates (descending influence,
+	// capped at the request's TopK). Scores are the search's estimates; the
+	// final Result re-scores exactly.
+	Best []BestSoFar
+	// Version changes whenever Best improved since the previous snapshot;
+	// pollers can use it to skip unchanged states.
+	Version int64
+}
+
+// BestSoFar is one partial-result predicate inside a Progress snapshot.
+type BestSoFar struct {
+	// Where is the predicate rendered against the request's table.
+	Where string `json:"where"`
+	// Influence is the search's running score estimate.
+	Influence float64 `json:"influence"`
 }
 
 // Stats reports search-cost counters.
@@ -209,7 +243,16 @@ func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	outcome, err := partition.RunSearch(ctx, req.effectiveWorkers(), searcher)
+	var board *partition.Board
+	var stopMonitor func()
+	if req.OnProgress != nil {
+		board = partition.NewBoard()
+		stopMonitor = watchProgress(req, scorer, board, start)
+	}
+	outcome, err := partition.RunSearchObserved(ctx, req.effectiveWorkers(), board, searcher)
+	if stopMonitor != nil {
+		stopMonitor()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +270,58 @@ func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
 		return res, fmt.Errorf("scorpion: search interrupted: %w", cause)
 	}
 	return res, nil
+}
+
+// watchProgress starts the OnProgress monitor goroutine: at every
+// ProgressInterval tick it samples the board and the scorer's call counter
+// and delivers a Progress snapshot. The returned stop function emits one
+// final snapshot and joins the goroutine, so OnProgress is never invoked
+// after ExplainContext returns.
+func watchProgress(req *Request, scorer *influence.Scorer, board *partition.Board, start time.Time) (stop func()) {
+	interval := req.ProgressInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	topK := req.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+	emit := func() {
+		cands, version := board.Snapshot()
+		if len(cands) > topK {
+			cands = cands[:topK]
+		}
+		best := make([]BestSoFar, len(cands))
+		for i, c := range cands {
+			best[i] = BestSoFar{Where: c.Pred.Format(req.Table), Influence: c.Score}
+		}
+		req.OnProgress(Progress{
+			Elapsed:     time.Since(start),
+			ScorerCalls: scorer.Calls(),
+			Best:        best,
+			Version:     version,
+		})
+	}
+	done := make(chan struct{})
+	joined := make(chan struct{})
+	go func() {
+		defer close(joined)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				emit()
+				return
+			case <-ticker.C:
+				emit()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-joined
+	}
 }
 
 // effectiveWorkers resolves the Workers knob, honoring the deprecated
@@ -435,7 +530,10 @@ func (s *dtSearcher) Search(pool *partition.Pool) (*partition.Outcome, error) {
 		return nil, err
 	}
 	cands := pt.CandidatesPool(s.scorer, pool)
+	// The scored leaves are a valid partial answer while the merge runs.
+	pool.PublishBest(cands)
 	merged := merge.New(s.scorer, s.space, s.mergeParams).WithPool(pool).Merge(cands)
+	pool.PublishBest(merged)
 	return &partition.Outcome{
 		Candidates:  merged,
 		Work:        int64(len(pt.OutlierLeaves) + len(pt.HoldOutLeaves)),

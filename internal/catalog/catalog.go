@@ -1,0 +1,222 @@
+// Package catalog is a concurrency-safe registry of named tables — the
+// multi-dataset half of turning the paper's one-database-per-process tool
+// (§4.1, Figure 2) into a serving system. One server process registers many
+// datasets (from CSV files, directory scans, or uploads) and resolves every
+// query/explain request to a table by name.
+//
+// Tables themselves are immutable, so a resolved *Table stays valid even if
+// its catalog entry is replaced or removed afterwards; the catalog only
+// guards the name→table map.
+package catalog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// Entry is one registered table with its provenance metadata.
+type Entry struct {
+	// Name is the registry key.
+	Name string
+	// Table is the immutable relation.
+	Table *relation.Table
+	// Source records where the table came from ("csv:/path", "upload",
+	// "builtin", ...), for /tables listings.
+	Source string
+	// LoadedAt is the registration time.
+	LoadedAt time.Time
+}
+
+// Rows returns the entry's row count.
+func (e *Entry) Rows() int { return e.Table.NumRows() }
+
+// Columns returns the entry's column count.
+func (e *Entry) Columns() int { return e.Table.Schema().NumColumns() }
+
+// validName constrains table names to something safe in URLs and flags.
+var validName = regexp.MustCompile(`^[A-Za-z0-9_][A-Za-z0-9_.-]*$`)
+
+// Catalog is the registry. The zero value is not usable; call New.
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{entries: make(map[string]*Entry)}
+}
+
+// Add registers table under name with the given source tag, replacing any
+// existing entry of that name. It rejects invalid names and nil tables.
+func (c *Catalog) Add(name string, table *relation.Table, source string) (*Entry, error) {
+	if !validName.MatchString(name) {
+		return nil, fmt.Errorf("catalog: invalid table name %q", name)
+	}
+	if table == nil {
+		return nil, fmt.Errorf("catalog: table %q is nil", name)
+	}
+	e := &Entry{Name: name, Table: table, Source: source, LoadedAt: time.Now()}
+	c.mu.Lock()
+	c.entries[name] = e
+	c.mu.Unlock()
+	return e, nil
+}
+
+// LoadCSV reads a CSV stream and registers it under name.
+func (c *Catalog) LoadCSV(name string, r io.Reader, opts relation.CSVOptions, source string) (*Entry, error) {
+	if !validName.MatchString(name) {
+		return nil, fmt.Errorf("catalog: invalid table name %q", name)
+	}
+	table, err := relation.ReadCSV(r, opts)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: loading %q: %w", name, err)
+	}
+	return c.Add(name, table, source)
+}
+
+// LoadCSVFile reads path and registers it under name; an empty name derives
+// one from the file's base name (data/flights.csv → flights).
+func (c *Catalog) LoadCSVFile(name, path string) (*Entry, error) {
+	if name == "" {
+		name = NameFromPath(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	defer f.Close()
+	return c.LoadCSV(name, f, relation.CSVOptions{}, "csv:"+path)
+}
+
+// LoadDir registers every *.csv file directly inside dir, named after its
+// base name. It returns the entries loaded (sorted by name) and fails on
+// the first unreadable file — or on two files whose sanitized names
+// collide, which would otherwise silently replace one dataset with the
+// other — so a bad data directory is caught at startup.
+func (c *Catalog) LoadDir(dir string) ([]*Entry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("catalog: scanning %q: %w", dir, err)
+	}
+	sort.Strings(paths)
+	seen := make(map[string]string, len(paths))
+	entries := make([]*Entry, 0, len(paths))
+	for _, p := range paths {
+		name := NameFromPath(p)
+		if prev, dup := seen[name]; dup {
+			return nil, fmt.Errorf("catalog: %q and %q both load as table %q; rename one", prev, p, name)
+		}
+		seen[name] = p
+		e, err := c.LoadCSVFile(name, p)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// NameFromPath derives a table name from a file path: the base name without
+// its extension, with characters outside the valid-name alphabet replaced
+// by underscores.
+func NameFromPath(path string) string {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	if base == "" {
+		base = "table"
+	}
+	var b strings.Builder
+	for i, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case (r == '.' || r == '-') && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Get resolves a name to its entry.
+func (c *Catalog) Get(name string) (*Entry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[name]
+	return e, ok
+}
+
+// Resolve maps a request's table parameter to an entry: an explicit name
+// must exist, and an empty name is allowed only when exactly one table is
+// registered (the single-dataset convenience the pre-catalog server had).
+func (c *Catalog) Resolve(name string) (*Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if name != "" {
+		e, ok := c.entries[name]
+		if !ok {
+			return nil, fmt.Errorf("catalog: no table %q (have %s)", name, strings.Join(c.namesLocked(), ", "))
+		}
+		return e, nil
+	}
+	switch len(c.entries) {
+	case 0:
+		return nil, fmt.Errorf("catalog: no tables loaded")
+	case 1:
+		for _, e := range c.entries {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("catalog: %d tables loaded, specify one of %s", len(c.entries), strings.Join(c.namesLocked(), ", "))
+}
+
+// Remove unloads name, reporting whether it was present.
+func (c *Catalog) Remove(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[name]; !ok {
+		return false
+	}
+	delete(c.entries, name)
+	return true
+}
+
+// List returns all entries sorted by name.
+func (c *Catalog) List() []*Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered tables.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// namesLocked returns the sorted table names; callers hold c.mu.
+func (c *Catalog) namesLocked() []string {
+	names := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,149 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+func writeCSV(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sampleCSV = "g,v\na,1\na,2\nb,3\n"
+
+func TestLoadCSVFileAndResolve(t *testing.T) {
+	c := New()
+	path := writeCSV(t, t.TempDir(), "readings.csv", sampleCSV)
+	e, err := c.LoadCSVFile("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "readings" {
+		t.Errorf("derived name = %q", e.Name)
+	}
+	if e.Rows() != 3 || e.Columns() != 2 {
+		t.Errorf("stat = %d rows × %d cols", e.Rows(), e.Columns())
+	}
+	if !strings.HasPrefix(e.Source, "csv:") {
+		t.Errorf("source = %q", e.Source)
+	}
+
+	// Single-table convenience: an empty name resolves to the only table.
+	got, err := c.Resolve("")
+	if err != nil || got != e {
+		t.Fatalf("Resolve(\"\") = %v, %v", got, err)
+	}
+	if _, err := c.Resolve("nope"); err == nil {
+		t.Error("Resolve of a missing name succeeded")
+	}
+
+	// A second table makes the empty name ambiguous.
+	if _, err := c.LoadCSVFile("other", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resolve(""); err == nil {
+		t.Error("ambiguous Resolve(\"\") succeeded with 2 tables")
+	}
+	if got, err := c.Resolve("other"); err != nil || got.Name != "other" {
+		t.Errorf("Resolve(other) = %v, %v", got, err)
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	writeCSV(t, dir, "b.csv", sampleCSV)
+	writeCSV(t, dir, "a.csv", sampleCSV)
+	writeCSV(t, dir, "notes.txt", "ignored")
+	c := New()
+	entries, err := c.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "a" || entries[1].Name != "b" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestLoadDirNameCollision(t *testing.T) {
+	dir := t.TempDir()
+	writeCSV(t, dir, "foo bar.csv", sampleCSV)
+	writeCSV(t, dir, "foo_bar.csv", sampleCSV)
+	c := New()
+	if _, err := c.LoadDir(dir); err == nil || !strings.Contains(err.Error(), "foo_bar") {
+		t.Fatalf("colliding dir load: err = %v, want collision error", err)
+	}
+}
+
+func TestAddValidationAndRemove(t *testing.T) {
+	c := New()
+	if _, err := c.Add("bad name", nil, "x"); err == nil {
+		t.Error("invalid name accepted")
+	}
+	if _, err := c.LoadCSV("t1", strings.NewReader(sampleCSV), relation.CSVOptions{}, "upload"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadCSV("t1", strings.NewReader("x,y\n1,2\n3"), relation.CSVOptions{}, "upload"); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+	if !c.Remove("t1") {
+		t.Error("Remove(t1) = false")
+	}
+	if c.Remove("t1") {
+		t.Error("second Remove(t1) = true")
+	}
+	if _, err := c.Resolve(""); err == nil {
+		t.Error("Resolve on empty catalog succeeded")
+	}
+}
+
+func TestNameFromPath(t *testing.T) {
+	cases := map[string]string{
+		"/data/flights.csv": "flights",
+		"weird name!.csv":   "weird_name_",
+		"v1.2-final.csv":    "v1.2-final",
+		".csv":              "table",
+		"-leading-dash.csv": "_leading-dash",
+	}
+	for in, want := range cases {
+		if got := NameFromPath(in); got != want {
+			t.Errorf("NameFromPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestConcurrentAccess exercises the registry under the race detector.
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	path := writeCSV(t, t.TempDir(), "t.csv", sampleCSV)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			for j := 0; j < 20; j++ {
+				if _, err := c.LoadCSVFile(name, path); err != nil {
+					t.Error(err)
+					return
+				}
+				c.List()
+				c.Resolve(name)
+				c.Remove(name)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,463 @@
+// Package jobs is an asynchronous job service with a global worker
+// scheduler: long-running searches are enqueued as jobs, admitted FIFO
+// against one process-wide worker budget, and observable (status, progress,
+// best-so-far results) while they run. It turns the blocking
+// one-connection-per-search server of the paper's §4.1 tool into a queued
+// serving layer — the "batch/async explain API" direction of the ROADMAP.
+//
+// The scheduler enforces two bounds:
+//
+//   - a worker budget: the summed worker grants of all running jobs never
+//     exceed Budget, so concurrent searches share the machine instead of
+//     each allocating its own pool;
+//   - a queue depth: Submit fails with ErrQueueFull once QueueCap jobs are
+//     waiting, so callers can shed load (HTTP 429) instead of queueing
+//     unboundedly.
+//
+// Admission is strictly FIFO: a large job at the head waits for enough
+// free workers rather than being starved by smaller jobs slipping past it.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusQueued means the job waits for worker budget.
+	StatusQueued Status = "queued"
+	// StatusRunning means the job holds workers and is searching.
+	StatusRunning Status = "running"
+	// StatusDone means the job finished successfully.
+	StatusDone Status = "done"
+	// StatusFailed means the job's run returned a non-context error.
+	StatusFailed Status = "failed"
+	// StatusCanceled means the job was canceled (while queued or running).
+	StatusCanceled Status = "canceled"
+	// StatusTimeout means the job's own deadline expired mid-run; its
+	// result, if any, holds the best answer found before the cut.
+	StatusTimeout Status = "timeout"
+)
+
+// Terminal reports whether a status is final.
+func (s Status) Terminal() bool {
+	switch s {
+	case StatusDone, StatusFailed, StatusCanceled, StatusTimeout:
+		return true
+	}
+	return false
+}
+
+// ErrQueueFull is returned by Submit when the waiting queue is at capacity.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("jobs: scheduler closed")
+
+// Task describes one unit of schedulable work.
+type Task struct {
+	// Kind labels the work ("explain"); informational.
+	Kind string
+	// Table names the dataset the job runs against; informational.
+	Table string
+	// Workers is the requested worker budget. It is clamped to
+	// [1, scheduler budget] at admission; the granted value is what Run
+	// receives.
+	Workers int
+	// Timeout bounds the run once started (0 = none). Queue wait does not
+	// count against it.
+	Timeout time.Duration
+	// Run does the work. ctx is canceled by job cancellation, scheduler
+	// shutdown, or Timeout; workers is the granted budget; report
+	// publishes an opaque progress snapshot readable through Job.View
+	// while the job runs. Run may return a non-nil result together with a
+	// context error to expose best-so-far partial answers.
+	Run func(ctx context.Context, workers int, report func(any)) (any, error)
+}
+
+// Job is one submitted task. All exported methods are safe for concurrent
+// use.
+type Job struct {
+	id     string
+	task   Task
+	cancel context.CancelFunc
+	ctx    context.Context
+	done   chan struct{}
+
+	mu       sync.Mutex
+	status   Status
+	granted  int
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	progress any
+	result   any
+	err      error
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the run's outcome; valid once Done is closed. The result
+// may be non-nil even when err is a context error (partial best-so-far).
+func (j *Job) Result() (any, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// View is a point-in-time copy of a job's observable state.
+type View struct {
+	ID       string
+	Kind     string
+	Table    string
+	Status   Status
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	// Workers is the granted budget (0 while queued).
+	Workers int
+	// Progress is the latest report from the running task, if any.
+	Progress any
+	// Result is the task's outcome once terminal.
+	Result any
+	// Err is the task's error once terminal.
+	Err error
+}
+
+// View snapshots the job.
+func (j *Job) View() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return View{
+		ID:       j.id,
+		Kind:     j.task.Kind,
+		Table:    j.task.Table,
+		Status:   j.status,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Workers:  j.granted,
+		Progress: j.progress,
+		Result:   j.result,
+		Err:      j.err,
+	}
+}
+
+// report stores the latest progress snapshot.
+func (j *Job) report(v any) {
+	j.mu.Lock()
+	j.progress = v
+	j.mu.Unlock()
+}
+
+// Scheduler admits jobs against a global worker budget. Create one with
+// New and share it across all request handlers.
+type Scheduler struct {
+	budget   int
+	queueCap int
+	retain   int
+	baseCtx  context.Context
+	stop     context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	inUse    int
+	seq      int64
+	queue    []*Job
+	jobs     map[string]*Job
+	finished []string // terminal job ids, oldest first, for retention pruning
+}
+
+// Options tunes a scheduler.
+type Options struct {
+	// Budget is the global worker budget; <= 0 means GOMAXPROCS.
+	Budget int
+	// QueueCap bounds the number of waiting (not running) jobs; <= 0
+	// means 64.
+	QueueCap int
+	// Retain caps how many terminal jobs stay queryable; <= 0 means 256.
+	// The oldest finished jobs are evicted first; queued and running jobs
+	// are never evicted.
+	Retain int
+}
+
+// New builds a scheduler with the given options.
+func New(opts Options) *Scheduler {
+	if opts.Budget <= 0 {
+		opts.Budget = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 64
+	}
+	if opts.Retain <= 0 {
+		opts.Retain = 256
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Scheduler{
+		budget:   opts.Budget,
+		queueCap: opts.QueueCap,
+		retain:   opts.Retain,
+		baseCtx:  ctx,
+		stop:     cancel,
+		jobs:     make(map[string]*Job),
+	}
+}
+
+// Budget returns the global worker budget.
+func (s *Scheduler) Budget() int { return s.budget }
+
+// InUse returns the summed worker grants of currently running jobs. It is
+// the scheduler's invariant that InUse never exceeds Budget.
+func (s *Scheduler) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse
+}
+
+// QueueLen returns the number of jobs waiting for admission.
+func (s *Scheduler) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Submit enqueues a task and returns its job. It fails fast with
+// ErrQueueFull when the waiting queue is at capacity and ErrClosed after
+// Close. The job may start running before Submit returns.
+func (s *Scheduler) Submit(task Task) (*Job, error) {
+	if task.Run == nil {
+		return nil, fmt.Errorf("jobs: task has no Run")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if len(s.queue) >= s.queueCap {
+		return nil, ErrQueueFull
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job := &Job{
+		id:      fmt.Sprintf("job-%d", s.seq),
+		task:    task,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  StatusQueued,
+		created: time.Now(),
+	}
+	s.jobs[job.id] = job
+	s.queue = append(s.queue, job)
+	s.pruneLocked()
+	s.dispatchLocked()
+	return job, nil
+}
+
+// Get resolves a job id.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all retained jobs, oldest submission first.
+func (s *Scheduler) Jobs() []View {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	views := make([]View, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	// ids are "job-<seq>"; sort by creation time instead of parsing.
+	for i := 1; i < len(views); i++ {
+		for k := i; k > 0 && views[k].Created.Before(views[k-1].Created); k-- {
+			views[k], views[k-1] = views[k-1], views[k]
+		}
+	}
+	return views
+}
+
+// Cancel cancels a job: a queued job becomes canceled without running, a
+// running job has its context canceled (its Run decides how fast to stop).
+// It reports whether the id was known and not already terminal.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	job.mu.Lock()
+	terminal := job.status.Terminal()
+	queued := job.status == StatusQueued
+	job.mu.Unlock()
+	if terminal {
+		s.mu.Unlock()
+		return false
+	}
+	if queued {
+		// Drop it from the queue so it never runs. Canceling the head can
+		// unblock smaller jobs behind it, so re-dispatch before unlocking.
+		for i, q := range s.queue {
+			if q == job {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.finalizeLocked(job, nil, context.Canceled, StatusCanceled)
+		s.dispatchLocked()
+		s.mu.Unlock()
+		return true
+	}
+	s.mu.Unlock()
+	job.cancel()
+	return true
+}
+
+// Remove forgets a terminal job, reporting whether it was removed. Queued
+// and running jobs cannot be removed — cancel them first.
+func (s *Scheduler) Remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	job.mu.Lock()
+	terminal := job.status.Terminal()
+	job.mu.Unlock()
+	if !terminal {
+		return false
+	}
+	delete(s.jobs, id)
+	for i, fid := range s.finished {
+		if fid == id {
+			s.finished = append(s.finished[:i], s.finished[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Close cancels every queued and running job and rejects new submissions.
+// It does not wait for running jobs to finish; use their Done channels.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	queued := s.queue
+	s.queue = nil
+	for _, job := range queued {
+		s.finalizeLocked(job, nil, context.Canceled, StatusCanceled)
+	}
+	s.mu.Unlock()
+	s.stop() // cancels baseCtx → every running job's ctx
+}
+
+// dispatchLocked admits queued jobs FIFO while worker budget allows;
+// callers hold s.mu.
+func (s *Scheduler) dispatchLocked() {
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		if head.ctx.Err() != nil {
+			// Canceled while queued through the context (Close or a racing
+			// cancel); finalize without running.
+			s.queue = s.queue[1:]
+			s.finalizeLocked(head, nil, context.Canceled, StatusCanceled)
+			continue
+		}
+		grant := head.task.Workers
+		if grant < 1 {
+			grant = 1
+		}
+		if grant > s.budget {
+			grant = s.budget
+		}
+		if s.inUse+grant > s.budget {
+			return // head-of-line waits; no skipping
+		}
+		s.queue = s.queue[1:]
+		s.inUse += grant
+		head.mu.Lock()
+		head.status = StatusRunning
+		head.granted = grant
+		head.started = time.Now()
+		head.mu.Unlock()
+		go s.run(head, grant)
+	}
+}
+
+// run executes one admitted job and releases its workers.
+func (s *Scheduler) run(job *Job, grant int) {
+	ctx := job.ctx
+	cancel := func() {}
+	if job.task.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, job.task.Timeout)
+	}
+	result, err := job.task.Run(ctx, grant, job.report)
+	cancel()
+
+	status := StatusDone
+	switch {
+	case err == nil:
+		status = StatusDone
+	case errors.Is(err, context.DeadlineExceeded):
+		status = StatusTimeout
+	case errors.Is(err, context.Canceled):
+		status = StatusCanceled
+	default:
+		status = StatusFailed
+	}
+	s.mu.Lock()
+	s.inUse -= grant
+	s.finalizeLocked(job, result, err, status)
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// finalizeLocked moves a job to a terminal status; callers hold s.mu.
+func (s *Scheduler) finalizeLocked(job *Job, result any, err error, status Status) {
+	job.mu.Lock()
+	if job.status.Terminal() {
+		job.mu.Unlock()
+		return
+	}
+	job.status = status
+	job.result = result
+	job.err = err
+	job.finished = time.Now()
+	job.mu.Unlock()
+	// Release the job's context so it deregisters from baseCtx — without
+	// this every completed job would stay in baseCtx's children for the
+	// scheduler's lifetime.
+	job.cancel()
+	s.finished = append(s.finished, job.id)
+	close(job.done)
+	s.pruneLocked()
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond the retention cap;
+// callers hold s.mu.
+func (s *Scheduler) pruneLocked() {
+	for len(s.finished) > s.retain {
+		id := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, id)
+	}
+}

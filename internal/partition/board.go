@@ -1,0 +1,88 @@
+package partition
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Board is a concurrency-safe best-so-far bulletin: searchers publish their
+// current top candidates mid-run, and observers (progress callbacks, async
+// job snapshots) read them without stopping the search. A Board is the
+// publication half of the paper's convergence story (§8.2's best-so-far
+// curves): NAIVE publishes after every scored batch, MC after every
+// iteration's merge, and the DT composite after partitioning and merging.
+//
+// A nil *Board is valid everywhere and makes every method a no-op, so
+// searchers publish unconditionally and only observed runs pay for it.
+type Board struct {
+	mu      sync.Mutex
+	cands   []Candidate
+	version atomic.Int64
+}
+
+// NewBoard returns an empty board.
+func NewBoard() *Board { return &Board{} }
+
+// Publish replaces the board's candidates with a copy of cands, ranked by
+// descending score. Publications whose best is WORSE than the board's are
+// ignored (concurrent publishers cannot regress the board), and identical
+// lists are dropped without a version bump — but a publication that keeps
+// the same #1 while improving ranks 2..k is accepted, so observers see the
+// whole top-k fill in, not just the leader. No-op on a nil board.
+func (b *Board) Publish(cands []Candidate) {
+	if b == nil || len(cands) == 0 {
+		return
+	}
+	snapshot := make([]Candidate, len(cands))
+	copy(snapshot, cands)
+	SortByScore(snapshot)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.cands) > 0 {
+		if snapshot[0].Score < b.cands[0].Score {
+			return
+		}
+		if snapshot[0].Score == b.cands[0].Score && sameRanking(b.cands, snapshot) {
+			return
+		}
+	}
+	b.cands = snapshot
+	b.version.Add(1)
+}
+
+// sameRanking reports whether two score-sorted candidate lists rank the
+// same predicates with the same scores.
+func sameRanking(a, b []Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score || a[i].Pred.Key() != b[i].Pred.Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns the board's current candidates (descending score) and a
+// monotonically increasing version that changes with every accepted
+// Publish. The returned slice is private to the caller. A nil board reports
+// (nil, 0).
+func (b *Board) Snapshot() ([]Candidate, int64) {
+	if b == nil {
+		return nil, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Candidate, len(b.cands))
+	copy(out, b.cands)
+	return out, b.version.Load()
+}
+
+// Version returns the board's current version without copying candidates.
+func (b *Board) Version() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.version.Load()
+}

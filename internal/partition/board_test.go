@@ -1,0 +1,115 @@
+package partition
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/predicate"
+)
+
+// cand builds a candidate over a distinct single-value set clause so each
+// has a unique predicate key.
+func cand(code int32, score float64) Candidate {
+	return Candidate{
+		Pred:  predicate.MustNew(predicate.NewSetClause(0, "a", []int32{code})),
+		Score: score,
+	}
+}
+
+func TestBoardPublishImprovements(t *testing.T) {
+	b := NewBoard()
+	if got, v := b.Snapshot(); len(got) != 0 || v != 0 {
+		t.Fatalf("empty board = %v, %d", got, v)
+	}
+
+	b.Publish([]Candidate{cand(1, 5)})
+	got, v1 := b.Snapshot()
+	if len(got) != 1 || got[0].Score != 5 || v1 == 0 {
+		t.Fatalf("after first publish: %v, %d", got, v1)
+	}
+
+	// Worse top score: rejected, version unchanged.
+	b.Publish([]Candidate{cand(2, 3)})
+	if _, v := b.Snapshot(); v != v1 {
+		t.Fatalf("worse publish bumped version to %d", v)
+	}
+
+	// Same top but a fuller top-k: accepted with a version bump — the
+	// leader is unchanged while ranks 2..k fill in.
+	b.Publish([]Candidate{cand(1, 5), cand(3, 4)})
+	got, v2 := b.Snapshot()
+	if len(got) != 2 || got[0].Score != 5 || got[1].Score != 4 || v2 <= v1 {
+		t.Fatalf("fill-in publish: %v, %d", got, v2)
+	}
+
+	// Exactly the same ranking again: dropped without a version bump.
+	b.Publish([]Candidate{cand(3, 4), cand(1, 5)}) // unsorted input, same set
+	if _, v := b.Snapshot(); v != v2 {
+		t.Fatalf("identical publish bumped version to %d", v)
+	}
+
+	// Strictly better top: accepted.
+	b.Publish([]Candidate{cand(4, 9)})
+	got, v3 := b.Snapshot()
+	if len(got) != 1 || got[0].Score != 9 || v3 <= v2 {
+		t.Fatalf("better publish: %v, %d", got, v3)
+	}
+
+	// A nil board ignores everything.
+	var nilBoard *Board
+	nilBoard.Publish([]Candidate{cand(1, 1)})
+	if got, v := nilBoard.Snapshot(); got != nil || v != 0 {
+		t.Fatalf("nil board = %v, %d", got, v)
+	}
+}
+
+// TestBoardConcurrentPublish checks the board under parallel publishers
+// (race-detector gated): the final best never regresses below the highest
+// published score.
+func TestBoardConcurrentPublish(t *testing.T) {
+	b := NewBoard()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				b.Publish([]Candidate{cand(int32(w), float64(w*50+i))})
+				b.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, _ := b.Snapshot()
+	if len(got) == 0 || got[0].Score != 3*50+49 {
+		t.Fatalf("final board = %v, want top score %d", got, 3*50+49)
+	}
+}
+
+// Compile-time-ish guard that pools hand boards through correctly.
+func TestPoolWithBoard(t *testing.T) {
+	b := NewBoard()
+	p := NewPool(nil, 1).WithBoard(b)
+	if p.Board() != b {
+		t.Fatal("pool lost its board")
+	}
+	p.PublishBest([]Candidate{cand(1, 2)})
+	if got, _ := b.Snapshot(); len(got) != 1 {
+		t.Fatalf("PublishBest did not reach the board: %v", got)
+	}
+	// Pools without boards are no-ops, not panics.
+	NewPool(nil, 1).PublishBest([]Candidate{cand(1, 2)})
+}
+
+// Ensure predicate keys behave as the board's dedupe expects (guards the
+// sameRanking comparison against Key collisions for distinct clauses).
+func TestSameRankingDistinguishesPredicates(t *testing.T) {
+	a := []Candidate{cand(1, 5)}
+	b := []Candidate{cand(2, 5)}
+	if sameRanking(a, b) {
+		t.Fatal("distinct predicates judged identical")
+	}
+	if !sameRanking(a, []Candidate{cand(1, 5)}) {
+		t.Fatal("identical ranking judged different")
+	}
+}

@@ -316,6 +316,9 @@ func (m *runner) run() (*Result, error) {
 		}
 		merged := merger.Merge(cands)
 		res.Candidates = mergeCandidateLists(res.Candidates, merged)
+		// Each iteration's accumulated candidates are a valid partial
+		// answer; let observers see them mid-run.
+		m.pool.PublishBest(res.Candidates)
 		for _, c := range merged {
 			if c.Score > global.Score {
 				global = c

@@ -130,18 +130,23 @@ func runPool(pool *partition.Pool, scorer *influence.Scorer, space *predicate.Sp
 	res := &Result{}
 
 	if pool.Workers() <= 1 {
-		// Serial: score inline, record the convergence trace.
+		// Serial: score inline, record the convergence trace. Every trace
+		// improvement also goes to the pool's board (when one is attached)
+		// so observers see the same best-so-far curve mid-run.
 		keeper := topkKeeper{k: params.TopK}
 		e.sink = func(p predicate.Predicate, seq int64) {
 			score := scorer.Influence(p)
+			keeper.consider(scoredPred{partition.Candidate{Pred: p, Score: score}, seq})
 			if len(res.Trace) == 0 || score > res.Trace[len(res.Trace)-1].Score {
 				res.Trace = append(res.Trace, TracePoint{
 					Elapsed: time.Since(e.start),
 					Score:   score,
 					Pred:    p,
 				})
+				if pool.Board() != nil {
+					pool.PublishBest(keeper.ranked())
+				}
 			}
-			keeper.consider(scoredPred{partition.Candidate{Pred: p, Score: score}, seq})
 		}
 		e.run(maxCard, maxClauses)
 		res.TopK = keeper.ranked()
@@ -165,6 +170,11 @@ func runPool(pool *partition.Pool, scorer *influence.Scorer, space *predicate.Sp
 			mu.Lock()
 			for _, s := range local.list {
 				global.consider(s)
+			}
+			if pool.Board() != nil {
+				// Publish the running top-k after each folded batch; the
+				// board itself drops publications that don't improve it.
+				pool.PublishBest(global.ranked())
 			}
 			mu.Unlock()
 		})

@@ -19,6 +19,9 @@ import (
 type Pool struct {
 	ctx     context.Context
 	workers int
+	// board, when non-nil, receives best-so-far candidate publications from
+	// the searchers so observers can poll partial results mid-run.
+	board *Board
 }
 
 // maxWorkers caps a pool's worker budget: beyond this, extra goroutines
@@ -45,6 +48,22 @@ func NewPool(ctx context.Context, workers int) *Pool {
 
 // Context returns the pool's search context.
 func (p *Pool) Context() context.Context { return p.ctx }
+
+// WithBoard attaches a best-so-far board to the pool and returns the pool.
+// Searchers publish to it via PublishBest; a nil board (the default)
+// disables publication.
+func (p *Pool) WithBoard(b *Board) *Pool {
+	p.board = b
+	return p
+}
+
+// Board returns the attached best-so-far board, or nil when unobserved.
+func (p *Pool) Board() *Board { return p.board }
+
+// PublishBest offers cands to the pool's board. It is safe to call from any
+// worker and is a no-op when no board is attached or cands do not improve
+// on the board's best.
+func (p *Pool) PublishBest(cands []Candidate) { p.board.Publish(cands) }
 
 // Workers returns the pool's worker budget.
 func (p *Pool) Workers() int { return p.workers }

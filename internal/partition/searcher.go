@@ -32,11 +32,19 @@ type Outcome struct {
 // context that is already cancelled returns an empty interrupted outcome
 // without touching the searcher.
 func RunSearch(ctx context.Context, workers int, s Searcher) (*Outcome, error) {
+	return RunSearchObserved(ctx, workers, nil, s)
+}
+
+// RunSearchObserved is RunSearch with an optional best-so-far board: when
+// board is non-nil the searcher publishes its running top candidates to it,
+// so a concurrent observer can snapshot partial results mid-search (the
+// async job service's polling path). A nil board is exactly RunSearch.
+func RunSearchObserved(ctx context.Context, workers int, board *Board, s Searcher) (*Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if ctx.Err() != nil {
 		return &Outcome{Interrupted: true}, nil
 	}
-	return s.Search(NewPool(ctx, workers))
+	return s.Search(NewPool(ctx, workers).WithBoard(board))
 }

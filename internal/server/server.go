@@ -3,14 +3,28 @@
 // visualization front-end executes aggregate queries, flags outlier and
 // hold-out results, and receives ranked explanation predicates.
 //
+// Unlike the paper's per-database workflow, one process hosts many datasets
+// (a catalog of named tables) and runs every explanation as a job admitted
+// against one global worker budget — a serving layer rather than a demo.
+//
 // Endpoints:
 //
-//	GET  /schema   — the loaded table's columns and kinds
-//	POST /query    — {"sql": ...} → aggregate results with group keys
-//	POST /explain  — an ExplainRequest → ranked explanations
+//	GET    /tables        — list loaded tables
+//	POST   /tables?name=N — upload a CSV body as table N
+//	DELETE /tables/{name} — unload a table
+//	GET    /schema        — a table's columns and kinds (?table=N)
+//	POST   /query         — {"table", "sql"} → aggregate results
+//	POST   /explain       — an ExplainRequest → ranked explanations;
+//	                        "mode":"async" (or ?mode=async) enqueues instead
+//	POST   /jobs          — same body as /explain, always async → job id
+//	GET    /jobs          — list jobs
+//	GET    /jobs/{id}     — job status, progress, best-so-far, final result
+//	DELETE /jobs/{id}     — cancel a live job / forget a finished one
 //
-// The server is stateless beyond the table it serves; one process serves
-// one dataset (matching the paper's per-database workflow).
+// The "table" parameter may be omitted while exactly one table is loaded.
+// Synchronous /explain is a thin wait-on-job wrapper, so both paths share
+// one execution story: queued admission, the per-job worker grant, progress
+// snapshots, and cancellation through the job's context.
 package server
 
 import (
@@ -23,33 +37,169 @@ import (
 	"time"
 
 	scorpion "github.com/scorpiondb/scorpion"
+	"github.com/scorpiondb/scorpion/internal/catalog"
+	"github.com/scorpiondb/scorpion/internal/jobs"
 )
 
-// Server serves Scorpion over HTTP for a single table.
+// Server serves a catalog of tables over HTTP, scheduling explanation
+// searches onto a shared worker budget.
 type Server struct {
-	table *scorpion.Table
-	mux   *http.ServeMux
-	// ExplainTimeout bounds one explanation request (0 = none). The
-	// deadline is enforced through the search's context: when it passes,
-	// the running search itself stops (rather than being abandoned in a
-	// goroutine) and the client receives a 504 JSON error.
+	catalog *catalog.Catalog
+	sched   *jobs.Scheduler
+	mux     *http.ServeMux
+	// ExplainTimeout bounds one explanation search once it starts running
+	// (0 = none); queue wait does not count. The deadline is enforced
+	// through the job's context: when it passes, the running search itself
+	// stops and a synchronous client receives a 504 JSON error.
 	ExplainTimeout time.Duration
-	// Workers is the default worker-pool size for explanation searches
-	// (0 = serial); per-request "workers" overrides it.
+	// Workers is the default per-search worker grant when a request leaves
+	// "workers" unset (0 = serial, -1 = GOMAXPROCS). The scheduler further
+	// clamps grants so that all running jobs together never exceed its
+	// global budget.
 	Workers int
+	// ProgressInterval is how often running jobs refresh their best-so-far
+	// snapshot (0 = 100ms).
+	ProgressInterval time.Duration
+	// MaxUploadBytes caps a POST /tables body (0 = 256 MiB) so one upload
+	// cannot exhaust the process's memory.
+	MaxUploadBytes int64
 }
 
-// New builds a server around the given table.
+// defaultMaxUploadBytes bounds table uploads when MaxUploadBytes is unset.
+const defaultMaxUploadBytes = 256 << 20
+
+// New builds a single-table server with a default scheduler — the
+// pre-catalog convenience constructor. The table is registered under the
+// name "default" but requests may omit the table parameter while it is the
+// only one loaded.
 func New(table *scorpion.Table) *Server {
-	s := &Server{table: table, mux: http.NewServeMux()}
+	cat := catalog.New()
+	if _, err := cat.Add("default", table, "builtin"); err != nil {
+		panic(err) // "default" is a valid name; only a nil table can fail
+	}
+	return NewCatalog(cat, nil)
+}
+
+// NewCatalog builds a server over an existing catalog and scheduler. A nil
+// scheduler gets a default one (GOMAXPROCS budget). The caller should
+// Close the server (or the scheduler) on shutdown to cancel live jobs.
+func NewCatalog(cat *catalog.Catalog, sched *jobs.Scheduler) *Server {
+	if sched == nil {
+		sched = jobs.New(jobs.Options{})
+	}
+	s := &Server{catalog: cat, sched: sched, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /tables", s.handleTables)
+	s.mux.HandleFunc("POST /tables", s.handleTableUpload)
+	s.mux.HandleFunc("DELETE /tables/{name}", s.handleTableDelete)
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
 	return s
 }
 
+// Catalog returns the server's table registry.
+func (s *Server) Catalog() *catalog.Catalog { return s.catalog }
+
+// Scheduler returns the server's job scheduler.
+func (s *Server) Scheduler() *jobs.Scheduler { return s.sched }
+
+// Close cancels all live jobs and rejects new ones.
+func (s *Server) Close() { s.sched.Close() }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// --- catalog endpoints -------------------------------------------------
+
+// tableJSON describes one catalog entry.
+type tableJSON struct {
+	Name     string `json:"name"`
+	Rows     int    `json:"rows"`
+	Columns  int    `json:"columns"`
+	Source   string `json:"source"`
+	LoadedAt string `json:"loaded_at"`
+}
+
+func entryJSON(e *catalog.Entry) tableJSON {
+	return tableJSON{
+		Name:     e.Name,
+		Rows:     e.Rows(),
+		Columns:  e.Columns(),
+		Source:   e.Source,
+		LoadedAt: e.LoadedAt.UTC().Format(time.RFC3339),
+	}
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	entries := s.catalog.List()
+	out := make([]tableJSON, len(entries))
+	for i, e := range entries {
+		out[i] = entryJSON(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
+}
+
+func (s *Server) handleTableUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?name= for uploaded table"))
+		return
+	}
+	limit := s.MaxUploadBytes
+	if limit <= 0 {
+		limit = defaultMaxUploadBytes
+	}
+	body := http.MaxBytesReader(w, r.Body, limit)
+	e, err := s.catalog.LoadCSV(name, body, scorpion.CSVOptions{}, "upload")
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("upload exceeds the %d-byte limit", limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"table": entryJSON(e)})
+}
+
+func (s *Server) handleTableDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.catalog.Remove(name) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"unloaded": name})
+}
+
+// resolveTable maps a request's table parameter to a catalog entry.
+func (s *Server) resolveTable(name string) (*catalog.Entry, error) {
+	return s.catalog.Resolve(name)
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.resolveTable(r.URL.Query().Get("table"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	table := entry.Table
+	cols := make([]columnJSON, 0, table.Schema().NumColumns())
+	for i := 0; i < table.Schema().NumColumns(); i++ {
+		c := table.Schema().Column(i)
+		cols = append(cols, columnJSON{Name: c.Name, Kind: c.Kind.String()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":   entry.Name,
+		"columns": cols,
+		"rows":    table.NumRows(),
+	})
+}
 
 // columnJSON describes one schema column.
 type columnJSON struct {
@@ -57,21 +207,14 @@ type columnJSON struct {
 	Kind string `json:"kind"`
 }
 
-func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
-	cols := make([]columnJSON, 0, s.table.Schema().NumColumns())
-	for i := 0; i < s.table.Schema().NumColumns(); i++ {
-		c := s.table.Schema().Column(i)
-		cols = append(cols, columnJSON{Name: c.Name, Kind: c.Kind.String()})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"columns": cols,
-		"rows":    s.table.NumRows(),
-	})
-}
+// --- query endpoint ----------------------------------------------------
 
 // QueryRequest is the /query input.
 type QueryRequest struct {
-	SQL string `json:"sql"`
+	// Table names the catalog entry to query; may be empty while exactly
+	// one table is loaded.
+	Table string `json:"table,omitempty"`
+	SQL   string `json:"sql"`
 }
 
 // QueryRow is one aggregate result.
@@ -87,22 +230,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 		return
 	}
-	// Reuse the Explain plumbing's query path by running a throwaway
-	// request bind: querying directly through the public API.
-	res, err := scorpion.RunQuery(s.table, req.SQL)
+	entry, err := s.resolveTable(req.Table)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	res, err := scorpion.RunQuery(entry.Table, req.SQL)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	rows := make([]QueryRow, 0, len(res.Rows))
 	for _, row := range res.Rows {
-		rows = append(rows, QueryRow{Key: row.Key, Value: row.Value, GroupSize: row.Group.Count()})
+		size := 0
+		if row.Group != nil {
+			size = row.Group.Count()
+		}
+		rows = append(rows, QueryRow{Key: row.Key, Value: row.Value, GroupSize: size})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"rows": rows})
+	writeJSON(w, http.StatusOK, map[string]any{"table": entry.Name, "rows": rows})
 }
 
-// ExplainRequest is the /explain input.
+// --- explain / jobs ----------------------------------------------------
+
+// ExplainRequest is the /explain and /jobs input.
 type ExplainRequest struct {
+	// Table names the catalog entry to explain against; may be empty while
+	// exactly one table is loaded.
+	Table            string   `json:"table,omitempty"`
 	SQL              string   `json:"sql"`
 	Outliers         []string `json:"outliers"`
 	HoldOuts         []string `json:"holdouts,omitempty"`
@@ -113,7 +268,13 @@ type ExplainRequest struct {
 	Lambda           *float64 `json:"lambda,omitempty"`
 	Algorithm        string   `json:"algorithm,omitempty"` // auto|naive|dt|mc
 	TopK             int      `json:"top_k,omitempty"`
-	Workers          int      `json:"workers,omitempty"` // search worker pool (0 = server default)
+	// Workers requests a search worker grant: 0 = server default, -1 =
+	// GOMAXPROCS; other negative values are rejected. The scheduler clamps
+	// the grant against its global budget.
+	Workers int `json:"workers,omitempty"`
+	// Mode selects sync (default) or "async" execution on /explain;
+	// ignored on /jobs, which is always async.
+	Mode string `json:"mode,omitempty"`
 }
 
 // ExplanationJSON is one ranked explanation.
@@ -125,29 +286,59 @@ type ExplanationJSON struct {
 	InfluencesHoldOut bool    `json:"influences_holdout"`
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	var req ExplainRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
-		return
+// JobProgress is the best-so-far snapshot a running job exposes to polls.
+type JobProgress struct {
+	ElapsedMS   int64                `json:"elapsed_ms"`
+	ScorerCalls int64                `json:"scorer_calls"`
+	Best        []scorpion.BestSoFar `json:"best"`
+	Version     int64                `json:"version"`
+}
+
+// resolveWorkers validates and resolves the per-request workers knob:
+// 0 uses the server default, -1 (like the CLI) means GOMAXPROCS, other
+// negatives are rejected, and the result is clamped to GOMAXPROCS — extra
+// goroutines beyond the host's parallelism cannot help, and an absurd
+// value must not allocate them.
+func (s *Server) resolveWorkers(requested int) (int, error) {
+	if requested < -1 {
+		return 0, fmt.Errorf("bad workers %d (want -1, 0, or a positive count)", requested)
+	}
+	w := requested
+	if w == 0 {
+		w = s.Workers
+	}
+	maxW := runtime.GOMAXPROCS(0)
+	if w < 0 {
+		w = maxW
+	}
+	if w == 0 {
+		w = 1 // serial
+	}
+	if w > maxW {
+		w = maxW
+	}
+	return w, nil
+}
+
+// buildExplainTask validates an ExplainRequest and compiles it into a
+// schedulable job task. Validation errors map to the returned status code.
+func (s *Server) buildExplainTask(req *ExplainRequest) (jobs.Task, int, error) {
+	entry, err := s.resolveTable(req.Table)
+	if err != nil {
+		return jobs.Task{}, http.StatusNotFound, err
+	}
+	workers, err := s.resolveWorkers(req.Workers)
+	if err != nil {
+		return jobs.Task{}, http.StatusBadRequest, err
 	}
 	sreq := &scorpion.Request{
-		Table:            s.table,
+		Table:            entry.Table,
 		SQL:              req.SQL,
 		Outliers:         req.Outliers,
 		HoldOuts:         req.HoldOuts,
 		AllOthersHoldOut: req.AllOthersHoldOut,
 		Attributes:       req.Attributes,
 		TopK:             req.TopK,
-		Workers:          req.Workers,
-	}
-	if sreq.Workers == 0 {
-		sreq.Workers = s.Workers
-	}
-	// Clamp the client-supplied knob: workers beyond the host's parallelism
-	// cannot help, and an absurd value must not allocate goroutines.
-	if maxW := runtime.GOMAXPROCS(0); sreq.Workers > maxW {
-		sreq.Workers = maxW
 	}
 	switch req.Direction {
 	case "", "high":
@@ -155,8 +346,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	case "low":
 		sreq.Direction = scorpion.TooLow
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad direction %q", req.Direction))
-		return
+		return jobs.Task{}, http.StatusBadRequest, fmt.Errorf("bad direction %q", req.Direction)
 	}
 	switch req.Algorithm {
 	case "", "auto":
@@ -168,8 +358,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	case "mc":
 		sreq.Algorithm = scorpion.MC
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad algorithm %q", req.Algorithm))
-		return
+		return jobs.Task{}, http.StatusBadRequest, fmt.Errorf("bad algorithm %q", req.Algorithm)
 	}
 	if req.C != nil {
 		sreq.C = *req.C
@@ -178,16 +367,100 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		sreq.Lambda = *req.Lambda
 	}
 
-	// The request context already cancels on client disconnect and server
-	// shutdown; layer the explanation deadline on top, and let the search
-	// itself observe both through ExplainContext.
-	ctx := r.Context()
-	if s.ExplainTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.ExplainTimeout)
-		defer cancel()
+	interval := s.ProgressInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
 	}
-	res, err := scorpion.ExplainContext(ctx, sreq)
+	return jobs.Task{
+		Kind:    "explain",
+		Table:   entry.Name,
+		Workers: workers,
+		Timeout: s.ExplainTimeout,
+		Run: func(ctx context.Context, granted int, report func(any)) (any, error) {
+			r := *sreq
+			r.Workers = granted
+			r.ProgressInterval = interval
+			r.OnProgress = func(p scorpion.Progress) {
+				report(JobProgress{
+					ElapsedMS:   p.Elapsed.Milliseconds(),
+					ScorerCalls: p.ScorerCalls,
+					Best:        p.Best,
+					Version:     p.Version,
+				})
+			}
+			res, err := scorpion.ExplainContext(ctx, &r)
+			if res == nil {
+				return nil, err
+			}
+			// A partial (interrupted) result is still worth returning.
+			return explainResultJSON(res), err
+		},
+	}, 0, nil
+}
+
+// explainResultJSON renders a search result as the /explain response body.
+func explainResultJSON(res *scorpion.Result) map[string]any {
+	explanations := make([]ExplanationJSON, 0, len(res.Explanations))
+	for _, e := range res.Explanations {
+		explanations = append(explanations, ExplanationJSON{
+			Where:             e.Where,
+			Influence:         e.Influence,
+			Matched:           e.MatchedOutlierTuples,
+			HoldOutPenalty:    e.HoldOutPenalty,
+			InfluencesHoldOut: e.InfluencesHoldOut,
+		})
+	}
+	out := map[string]any{
+		"algorithm":    res.Stats.Algorithm.String(),
+		"duration_ms":  res.Stats.Duration.Milliseconds(),
+		"scorer_calls": res.Stats.ScorerCalls,
+		"explanations": explanations,
+	}
+	if res.Stats.Interrupted {
+		out["interrupted"] = true
+		out["interrupt_reason"] = res.Stats.InterruptReason
+	}
+	return out
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	async := req.Mode == "async" || r.URL.Query().Get("mode") == "async"
+	if req.Mode != "" && req.Mode != "sync" && req.Mode != "async" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad mode %q (want sync or async)", req.Mode))
+		return
+	}
+	task, status, err := s.buildExplainTask(&req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if async {
+		s.submitAsync(w, task)
+		return
+	}
+
+	// Synchronous path: a thin wait-on-job wrapper. The search still runs
+	// as a scheduled job (same admission, budget, progress and cancel
+	// story); the handler just blocks on its completion.
+	job, err := s.sched.Submit(task)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// Client went away or the server is draining: cancel our job and
+		// wait for it to stop (so handlers never outlive their search).
+		s.sched.Cancel(job.ID())
+		<-job.Done()
+	}
+	result, err := job.Result()
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -202,23 +475,115 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	writeJSON(w, http.StatusOK, result)
+}
 
-	explanations := make([]ExplanationJSON, 0, len(res.Explanations))
-	for _, e := range res.Explanations {
-		explanations = append(explanations, ExplanationJSON{
-			Where:             e.Where,
-			Influence:         e.Influence,
-			Matched:           e.MatchedOutlierTuples,
-			HoldOutPenalty:    e.HoldOutPenalty,
-			InfluencesHoldOut: e.InfluencesHoldOut,
-		})
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"algorithm":    res.Stats.Algorithm.String(),
-		"duration_ms":  res.Stats.Duration.Milliseconds(),
-		"scorer_calls": res.Stats.ScorerCalls,
-		"explanations": explanations,
+	task, status, err := s.buildExplainTask(&req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	s.submitAsync(w, task)
+}
+
+// submitAsync enqueues the task and answers 202 with the job handle.
+func (s *Server) submitAsync(w http.ResponseWriter, task jobs.Task) {
+	job, err := s.sched.Submit(task)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"job_id": job.ID(),
+		"status": string(job.View().Status),
+		"poll":   "/jobs/" + job.ID(),
 	})
+}
+
+// writeSubmitError maps scheduler admission failures to HTTP statuses:
+// a full queue is load-shedding (429), a closed scheduler is shutdown (503).
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// jobJSON renders a job view for /jobs responses.
+func jobJSON(v jobs.View) map[string]any {
+	out := map[string]any{
+		"id":      v.ID,
+		"kind":    v.Kind,
+		"table":   v.Table,
+		"status":  string(v.Status),
+		"created": v.Created.UTC().Format(time.RFC3339Nano),
+	}
+	if !v.Started.IsZero() {
+		out["started"] = v.Started.UTC().Format(time.RFC3339Nano)
+		out["workers"] = v.Workers
+	}
+	if !v.Finished.IsZero() {
+		out["finished"] = v.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	if v.Progress != nil {
+		out["progress"] = v.Progress
+	}
+	if v.Result != nil {
+		out["result"] = v.Result
+	}
+	if v.Err != nil {
+		out["error"] = v.Err.Error()
+	}
+	return out
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	views := s.sched.Jobs()
+	out := make([]map[string]any, len(views))
+	for i, v := range views {
+		out[i] = jobJSON(v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.sched.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(job.View()))
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.sched.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	if s.sched.Cancel(id) {
+		// Live job: cancellation is in flight; report the current state.
+		writeJSON(w, http.StatusOK, map[string]any{"canceled": id, "job": jobJSON(job.View())})
+		return
+	}
+	// Terminal job: forget it, but hand back its final state — a client
+	// whose cancel raced the job's own completion recovers the result from
+	// this response instead of a 404 on its next poll.
+	view := job.View()
+	s.sched.Remove(id)
+	writeJSON(w, http.StatusOK, map[string]any{"removed": id, "job": jobJSON(view)})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

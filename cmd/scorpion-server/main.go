@@ -24,6 +24,11 @@
 //
 // Every explanation — sync or async — is admitted FIFO against the
 // -max-workers budget; at most -queue-depth jobs wait (429 beyond that).
+// Finished results are cached (bounded by -cache-entries): a repeated
+// identical request answers instantly with "cached": true, concurrent
+// identical requests run ONE search, and a repeat that changes only "c"
+// reuses the cached partitioning (§8.3.3). GET /cache shows hit/miss
+// counters; DELETE /cache empties the store.
 // The -explain-timeout deadline bounds each search once it starts. On
 // SIGINT/SIGTERM the server shuts down gracefully — it stops accepting
 // connections, cancels queued and running jobs, and waits (up to
@@ -44,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/scorpiondb/scorpion/internal/cache"
 	"github.com/scorpiondb/scorpion/internal/catalog"
 	"github.com/scorpiondb/scorpion/internal/jobs"
 	"github.com/scorpiondb/scorpion/internal/server"
@@ -70,6 +76,7 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 64, "max waiting explain jobs before 429")
 		maxUpload  = flag.Int64("max-upload", 0, "max POST /tables body bytes (0 = 256 MiB)")
 		drainTime  = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
+		cacheSize  = flag.Int("cache-entries", 0, fmt.Sprintf("result-cache LRU bound (0 = default %d, negative disables caching, coalescing and session reuse)", cache.DefaultCapacity))
 	)
 	flag.Var(&csvs, "csv", "dataset to serve, as name=path or path (repeatable)")
 	flag.Parse()
@@ -109,6 +116,7 @@ func main() {
 	srv.ExplainTimeout = *timeout
 	srv.Workers = *workers
 	srv.MaxUploadBytes = *maxUpload
+	srv.ConfigureCache(*cacheSize)
 
 	// Request contexts derive from the signal context, so a shutdown also
 	// cancels every in-flight handler; closing the server cancels queued

@@ -69,12 +69,13 @@ func run(ctx context.Context, args []string) error {
 		table     = fs.String("table", "", "table name in the server's catalog (with -server; empty = its only table)")
 		asyncMode = fs.Bool("async", false, "with -server: enqueue as a job, poll best-so-far, cancel on Ctrl-C")
 		pollEvery = fs.Duration("poll", 500*time.Millisecond, "job poll interval with -async")
+		noCache   = fs.Bool("no-cache", false, "with -server: bypass the server's result cache (force a cold search)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *serverURL == "" && (*table != "" || *asyncMode) {
-		return fmt.Errorf("-table and -async require -server")
+	if *serverURL == "" && (*table != "" || *asyncMode || *noCache) {
+		return fmt.Errorf("-table, -async and -no-cache require -server")
 	}
 	if *serverURL != "" && *csvPath != "" {
 		return fmt.Errorf("-csv and -server are mutually exclusive (the server owns the data)")
@@ -130,6 +131,9 @@ func run(ctx context.Context, args []string) error {
 		if *topK != 5 {
 			body["top_k"] = *topK
 		}
+		if *noCache {
+			body["cache"] = "bypass"
+		}
 		return runRemote(ctx, remoteOptions{
 			base:      strings.TrimRight(*serverURL, "/"),
 			table:     *table,
@@ -168,12 +172,15 @@ func run(ctx context.Context, args []string) error {
 		Outliers:         splitList(*outliers),
 		HoldOuts:         splitList(*holdouts),
 		AllOthersHoldOut: *allOthers,
-		Lambda:           *lambda,
-		C:                *cKnob,
 		TopK:             *topK,
 		Attributes:       splitList(*attrs),
 		Workers:          *workers,
 	}
+	// Setters, not field writes: a flag value is always explicit, so
+	// -lambda 0 / -c 0 must reach the scorer as real zeros instead of
+	// being mistaken for "unset" and replaced by the defaults.
+	req.SetLambda(*lambda)
+	req.SetC(*cKnob)
 	switch strings.ToLower(*direction) {
 	case "high":
 		req.Direction = scorpion.TooHigh

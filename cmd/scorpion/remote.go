@@ -40,6 +40,8 @@ type remoteResult struct {
 	DurationMS      int64               `json:"duration_ms"`
 	ScorerCalls     int64               `json:"scorer_calls"`
 	Explanations    []remoteExplanation `json:"explanations"`
+	Cached          bool                `json:"cached"`
+	ReusedPartition bool                `json:"reused_partition"`
 	Interrupted     bool                `json:"interrupted"`
 	InterruptReason string              `json:"interrupt_reason"`
 	Error           string              `json:"error"`
@@ -208,8 +210,14 @@ func remoteQuery(ctx context.Context, client *http.Client, opts remoteOptions) e
 }
 
 func printRemoteResult(res *remoteResult) {
-	fmt.Printf("algorithm: %s   scorer calls: %d   elapsed: %s\n\n",
-		res.Algorithm, res.ScorerCalls, time.Duration(res.DurationMS)*time.Millisecond)
+	note := ""
+	if res.Cached {
+		note = "   (served from the server's result cache)"
+	} else if res.ReusedPartition {
+		note = "   (reused cached partitioning)"
+	}
+	fmt.Printf("algorithm: %s   scorer calls: %d   elapsed: %s%s\n\n",
+		res.Algorithm, res.ScorerCalls, time.Duration(res.DurationMS)*time.Millisecond, note)
 	if res.Interrupted {
 		fmt.Printf("search interrupted (%s); showing best results so far\n\n", res.InterruptReason)
 	}

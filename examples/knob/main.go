@@ -52,17 +52,20 @@ func main() {
 
 	fmt.Println("\nsame sweep without caching (fresh Explain each time):")
 	for _, c := range []float64{1.0, 0.5, 0.2, 0.1, 0.0} {
-		res, err := scorpion.Explain(&scorpion.Request{
+		req := &scorpion.Request{
 			Table:            ds.Table,
 			SQL:              "SELECT avg(v), g FROM synth GROUP BY g",
 			Outliers:         ds.OutlierKeys,
 			AllOthersHoldOut: true,
 			Direction:        scorpion.TooHigh,
 			Attributes:       ds.DimNames(),
-			C:                c,
 			Algorithm:        scorpion.DT,
 			TopK:             1,
-		})
+		}
+		// SetC (not a field write) so the sweep's final c=0 step is an
+		// explicit zero, matching ExplainC's semantics above.
+		req.SetC(c)
+		res, err := scorpion.Explain(req)
 		if err != nil {
 			log.Fatal(err)
 		}

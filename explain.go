@@ -77,11 +77,21 @@ type Request struct {
 	// step, implemented via filter-based feature selection). Ignored when
 	// Attributes is set explicitly.
 	AutoSelectAttributes int
-	// Lambda is the outlier/hold-out trade-off (§3.2); default 0.5.
+	// Lambda is the outlier/hold-out trade-off (§3.2). A zero value means
+	// DefaultLambda; to request an explicit λ = 0 (all weight on hold-out
+	// stability, a legal §3.2 setting), use SetLambda, which records
+	// explicitness so the zero is honored.
 	Lambda float64
-	// C is the §7 influence/selectivity knob; default 0.2. Lower values
-	// favor broad predicates, higher values selective ones.
+	// C is the §7 influence/selectivity knob. A zero value means DefaultC;
+	// to request an explicit c = 0 (influence unscaled by predicate
+	// cardinality), use SetC. Lower values favor broad predicates, higher
+	// values selective ones.
 	C float64
+	// lambdaSet / cSet mark Lambda / C as explicitly set — the
+	// resolved-defaults step that lets a legal zero survive to the scorer
+	// instead of being mistaken for "unset".
+	lambdaSet bool
+	cSet      bool
 	// Perturb, when non-nil, switches influence from tuple deletion to
 	// value perturbation (the §3.2 footnote's alternative): Δ measures how
 	// the result would change had the matched tuples' aggregate values
@@ -126,6 +136,42 @@ const DefaultC = 0.2
 
 // DefaultLambda is the default hold-out trade-off.
 const DefaultLambda = 0.5
+
+// SetLambda sets the λ trade-off, honoring explicit zeros: unlike a plain
+// field write, SetLambda(0) resolves to 0 (all weight on hold-outs)
+// rather than DefaultLambda.
+func (r *Request) SetLambda(v float64) {
+	r.Lambda = v
+	r.lambdaSet = true
+}
+
+// SetC sets the §7 c knob, honoring explicit zeros: unlike a plain field
+// write, SetC(0) resolves to 0 (Δ unscaled by |p(g)|) rather than
+// DefaultC.
+func (r *Request) SetC(v float64) {
+	r.C = v
+	r.cSet = true
+}
+
+// ResolvedLambda is the λ the scorer will use: Lambda, unless it is an
+// unset zero, in which case DefaultLambda. Cache keys must use resolved
+// values so an explicit default and an unset knob never alias to
+// different entries — nor an explicit zero to the default.
+func (r *Request) ResolvedLambda() float64 {
+	if r.Lambda == 0 && !r.lambdaSet {
+		return DefaultLambda
+	}
+	return r.Lambda
+}
+
+// ResolvedC is the c the scorer will use: C, unless it is an unset zero,
+// in which case DefaultC.
+func (r *Request) ResolvedC() float64 {
+	if r.C == 0 && !r.cSet {
+		return DefaultC
+	}
+	return r.C
+}
 
 // Explanation is one ranked answer.
 type Explanation struct {
@@ -184,6 +230,10 @@ type Stats struct {
 	ScorerCalls int64
 	// Candidates counts predicates considered.
 	Candidates int
+	// ReusedPartition reports that the search skipped re-partitioning by
+	// reusing an Explainer session's cached DT partitioning (§8.3.3) — the
+	// c-sweep fast path. Always false for one-shot Explain calls.
+	ReusedPartition bool
 	// Interrupted reports that the search was cut short by context
 	// cancellation or deadline; Explanations hold the best predicates
 	// found up to that point.
@@ -247,7 +297,7 @@ func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
 	var stopMonitor func()
 	if req.OnProgress != nil {
 		board = partition.NewBoard()
-		stopMonitor = watchProgress(req, scorer, board, start)
+		stopMonitor = watchProgress(req, scorer, board, start, 0)
 	}
 	outcome, err := partition.RunSearchObserved(ctx, req.effectiveWorkers(), board, searcher)
 	if stopMonitor != nil {
@@ -274,10 +324,11 @@ func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
 
 // watchProgress starts the OnProgress monitor goroutine: at every
 // ProgressInterval tick it samples the board and the scorer's call counter
-// and delivers a Progress snapshot. The returned stop function emits one
-// final snapshot and joins the goroutine, so OnProgress is never invoked
-// after ExplainContext returns.
-func watchProgress(req *Request, scorer *influence.Scorer, board *partition.Board, start time.Time) (stop func()) {
+// (minus callsBase, so sessions reusing one scorer report THIS run's
+// calls) and delivers a Progress snapshot. The returned stop function
+// emits one final snapshot and joins the goroutine, so OnProgress is
+// never invoked after ExplainContext returns.
+func watchProgress(req *Request, scorer *influence.Scorer, board *partition.Board, start time.Time, callsBase int64) (stop func()) {
 	interval := req.ProgressInterval
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
@@ -297,7 +348,7 @@ func watchProgress(req *Request, scorer *influence.Scorer, board *partition.Boar
 		}
 		req.OnProgress(Progress{
 			Elapsed:     time.Since(start),
-			ScorerCalls: scorer.Calls(),
+			ScorerCalls: scorer.Calls() - callsBase,
 			Best:        best,
 			Version:     version,
 		})
@@ -360,15 +411,9 @@ func buildScorer(req *Request) (*influence.Scorer, *predicate.Space, *query.Resu
 		Table:   req.Table,
 		Agg:     q.Agg,
 		AggCol:  q.AggCol,
-		Lambda:  req.Lambda,
-		C:       req.C,
+		Lambda:  req.ResolvedLambda(),
+		C:       req.ResolvedC(),
 		Perturb: req.Perturb,
-	}
-	if task.Lambda == 0 {
-		task.Lambda = DefaultLambda
-	}
-	if task.C == 0 {
-		task.C = DefaultC
 	}
 
 	defaultDir := req.Direction
@@ -456,11 +501,12 @@ func chooseAlgorithm(req *Request, scorer *influence.Scorer) (Algorithm, error) 
 	if am, ok := task.Agg.(aggregate.AntiMonotonic); ok {
 		pass := true
 		for _, g := range task.Outliers {
+			// Project the per-tuple aggregate values through Task.Value so
+			// count(*) (AggCol = -1, one 1 per tuple) feeds check(D) real
+			// data. Building an empty slice there made the check vacuously
+			// true: MC was auto-picked without the data ever being checked.
 			vals := make([]float64, 0, g.Rows.Count())
-			if task.AggCol >= 0 {
-				col := task.Table.Floats(task.AggCol)
-				g.Rows.ForEach(func(r int) { vals = append(vals, col[r]) })
-			}
+			g.Rows.ForEach(func(r int) { vals = append(vals, task.Value(r)) })
 			if !am.Check(vals) {
 				pass = false
 				break
@@ -543,18 +589,35 @@ func (s *dtSearcher) Search(pool *partition.Pool) (*partition.Outcome, error) {
 
 // assemble converts candidates into ranked explanations.
 func assemble(req *Request, scorer *influence.Scorer, cands []partition.Candidate, qres *query.Result) *Result {
-	topK := req.TopK
-	if topK <= 0 {
-		topK = 5
-	}
+	return present(req, scorer, rescoreExact(scorer, cands), qres)
+}
+
+// rescoreExact dedupes candidates, re-scores them exactly, and sorts
+// descending — mutating the slice in place. The hold-out flag is
+// recomputed from the exact penalty rather than copied from the search:
+// partitioners set it from estimates (sampled influence, the §6.1.4
+// combine step), so the search-time flag could contradict the exact
+// HoldOutPenalty reported right beside it. The Explainer caches the
+// returned slice as merge seeds for future lower-c runs.
+func rescoreExact(scorer *influence.Scorer, cands []partition.Candidate) []partition.Candidate {
 	cands = partition.Dedupe(cands)
-	// Re-score exactly and re-rank before cutting.
 	for i := range cands {
 		outMean, holdPen := scorer.Parts(cands[i].Pred)
 		cands[i].Score = scorer.Task().Lambda*outMean - (1-scorer.Task().Lambda)*holdPen
 		cands[i].HoldPenalty = holdPen
+		cands[i].InfluencesHoldOut = holdPen > 0
 	}
 	partition.SortByScore(cands)
+	return cands
+}
+
+// present renders exactly-scored candidates as the request's top-k ranked
+// explanations. It does not mutate cands.
+func present(req *Request, scorer *influence.Scorer, cands []partition.Candidate, qres *query.Result) *Result {
+	topK := req.TopK
+	if topK <= 0 {
+		topK = 5
+	}
 	if len(cands) > topK {
 		cands = cands[:topK]
 	}

@@ -1,6 +1,7 @@
 package scorpion
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -17,26 +18,32 @@ import (
 // labels while the user sweeps the c knob (e.g. via a UI slider). It caches
 // what §8.3.3 shows is reusable:
 //
-//   - the DT partitioning, which is agnostic to c, and
+//   - the executed query, its provenance, and the scorer's per-group
+//     aggregate states, none of which depend on c;
+//   - the DT partitioning, which is agnostic to c; and
 //   - the Merger results of previous runs, which seed runs at lower c
 //     (decreasing c only grows predicates further).
 //
 // Explainer requires an independent aggregate (it is a DT-path facility).
+// An Explainer is NOT safe for concurrent use; callers that share one
+// across requests (the HTTP server's per-session reuse) serialize runs.
 type Explainer struct {
-	req   Request
-	qres  *query.Result
-	space *predicate.Space
+	req    Request
+	scorer *influence.Scorer
+	qres   *query.Result
+	space  *predicate.Space
 
 	part *dt.Partitioning
 	// mergedByC caches final merged candidates per c value.
 	mergedByC map[float64][]partition.Candidate
 }
 
-// NewExplainer validates the request and prepares the reusable state.
+// NewExplainer validates the request, executes the query, and prepares the
+// reusable state (one scorer whose group states are shared by every run).
 // Request.C is ignored; pass c per ExplainC call.
 func NewExplainer(req *Request) (*Explainer, error) {
 	r := *req
-	r.C = 1 // placeholder; per-call c overrides
+	r.SetC(1) // placeholder; per-call c overrides
 	scorer, space, qres, err := buildScorer(&r)
 	if err != nil {
 		return nil, err
@@ -47,48 +54,171 @@ func NewExplainer(req *Request) (*Explainer, error) {
 	}
 	return &Explainer{
 		req:       r,
+		scorer:    scorer,
 		qres:      qres,
 		space:     space,
 		mergedByC: make(map[float64][]partition.Candidate),
 	}, nil
 }
 
+// AutoAlgorithm reports which algorithm an Auto request over this query
+// would resolve to. Serving layers use it to decide whether the session
+// can answer Auto requests without changing the algorithm choice: the
+// session always runs the DT path, so it only substitutes for Auto when
+// Auto itself resolves to DT.
+func (e *Explainer) AutoAlgorithm() Algorithm {
+	algo, err := chooseAlgorithm(&Request{Algorithm: Auto}, e.scorer)
+	if err != nil {
+		return DT // unreachable for Auto; keep the session usable
+	}
+	return algo
+}
+
+// Configure adjusts the per-run execution knobs — worker-pool size,
+// progress callback, and sampling interval — without invalidating any
+// cached session state. The serving layer calls it before each run with
+// the job's granted workers and reporter.
+func (e *Explainer) Configure(workers int, onProgress func(Progress), interval time.Duration) {
+	e.req.Workers = workers
+	e.req.OnProgress = onProgress
+	e.req.ProgressInterval = interval
+}
+
 // ExplainC runs (or replays) the explanation at the given c value, reusing
 // the cached partitioning and any cached merger results with higher c.
 func (e *Explainer) ExplainC(c float64) (*Result, error) {
+	return e.ExplainCContext(context.Background(), c)
+}
+
+// ExplainCContext is ExplainC under a context, with the same
+// partial-result-on-interrupt contract as ExplainContext: on cancellation
+// it returns BOTH the best-so-far Result (Stats.Interrupted set) AND a
+// non-nil error wrapping ctx.Err(). Interrupted runs never poison the
+// session: a partial partitioning or merge is not cached.
+func (e *Explainer) ExplainCContext(ctx context.Context, c float64) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("scorpion: %w", err)
+	}
+	if err := e.scorer.SetC(c); err != nil {
+		return nil, fmt.Errorf("scorpion: %w", err)
+	}
+	callsBefore := e.scorer.Calls()
+	reused := e.part != nil
 	r := e.req
-	r.C = c
-	scorer, _, _, err := buildScorer(&r)
+	r.SetC(c)
+
+	var board *partition.Board
+	var stopMonitor func()
+	if r.OnProgress != nil {
+		board = partition.NewBoard()
+		// callsBefore as the baseline: progress snapshots of a warm run
+		// must report this run's scorer calls, not the session's lifetime
+		// total, or mid-run polls would contradict the final Stats.
+		stopMonitor = watchProgress(&r, e.scorer, board, start, callsBefore)
+	}
+	outcome, err := partition.RunSearchObserved(ctx, r.effectiveWorkers(), board, &sessionSearcher{e: e, c: c})
+	if stopMonitor != nil {
+		stopMonitor()
+	}
 	if err != nil {
 		return nil, err
 	}
-	if e.part == nil {
+	// One exact re-scoring pass feeds both the response and the seed
+	// cache: the stored seeds are this run's strongest distinct
+	// predicates under their EXACT scores (present never mutates the
+	// slice, so the cache and the response can share it).
+	scored := rescoreExact(e.scorer, outcome.Candidates)
+	if !outcome.Interrupted {
+		e.storeMerged(c, scored)
+	}
+	res := present(&r, e.scorer, scored, e.qres)
+	res.Stats.Algorithm = DT
+	res.Stats.Duration = time.Since(start)
+	res.Stats.ScorerCalls = e.scorer.Calls() - callsBefore
+	res.Stats.ReusedPartition = reused
+	if outcome.Interrupted {
+		cause := ctx.Err()
+		if cause == nil {
+			cause = context.Canceled
+		}
+		res.Stats.Interrupted = true
+		res.Stats.InterruptReason = cause.Error()
+		return res, fmt.Errorf("scorpion: search interrupted: %w", cause)
+	}
+	return res, nil
+}
+
+// sessionSearcher drives one ExplainC run behind the partition.Searcher
+// interface so session runs share the execution spine (worker pool,
+// cancellation, best-so-far board) with one-shot searches.
+type sessionSearcher struct {
+	e *Explainer
+	c float64
+}
+
+func (s *sessionSearcher) Name() string { return "dt-session" }
+
+func (s *sessionSearcher) Search(pool *partition.Pool) (*partition.Outcome, error) {
+	e := s.e
+	pt := e.part
+	if pt == nil {
 		params := dt.Params{}
 		if e.req.DTParams != nil {
 			params = *e.req.DTParams
 		}
-		pt, err := dt.Partition(scorer, e.space, params)
+		var err error
+		pt, err = dt.PartitionPool(pool, e.scorer, e.space, params)
 		if err != nil {
 			return nil, err
 		}
-		e.part = pt
+		if !pt.Interrupted {
+			// Only complete partitionings are cached: an interrupted one
+			// would silently degrade every later run in the session.
+			e.part = pt
+		}
 	}
-	cands := e.part.Candidates(scorer)
-
-	mergeParams := merge.Params{TopQuartileOnly: true, UseApproximation: scorer.Incremental()}
+	cands := pt.CandidatesPool(e.scorer, pool)
+	// The scored leaves are a valid partial answer while the merge runs.
+	pool.PublishBest(cands)
+	mergeParams := merge.Params{TopQuartileOnly: true, UseApproximation: e.scorer.Incremental()}
 	if e.req.MergeParams != nil {
 		mergeParams = *e.req.MergeParams
 	}
-	merger := merge.New(scorer, e.space, mergeParams)
-	merged := merger.MergeSeeded(cands, e.seedsFor(c))
-	e.mergedByC[c] = merged
+	merged := merge.New(e.scorer, e.space, mergeParams).WithPool(pool).MergeSeeded(cands, e.seedsFor(s.c))
+	pool.PublishBest(merged)
+	return &partition.Outcome{
+		Candidates:  merged,
+		Work:        int64(len(pt.OutlierLeaves) + len(pt.HoldOutLeaves)),
+		Interrupted: pt.Interrupted || pool.Cancelled(),
+	}, nil
+}
 
-	res := assemble(&r, scorer, merged, e.qres)
-	res.Stats.Algorithm = DT
-	res.Stats.Duration = time.Since(start)
-	res.Stats.ScorerCalls = scorer.Calls()
-	return res, nil
+// maxCachedMerges bounds mergedByC: a long-lived serving session sweeping
+// a continuous c slider must not accumulate one candidate slice per
+// distinct float forever.
+const maxCachedMerges = 16
+
+// storeMerged caches a run's merged candidates under its c, evicting the
+// smallest cached c when full — high-c results seed the widest range of
+// future (lower-c) runs, so they are the ones worth keeping.
+func (e *Explainer) storeMerged(c float64, merged []partition.Candidate) {
+	if _, exists := e.mergedByC[c]; !exists && len(e.mergedByC) >= maxCachedMerges {
+		evict := c
+		for k := range e.mergedByC {
+			if k < evict {
+				evict = k
+			}
+		}
+		if evict == c {
+			return // c is the smallest of all: not worth a slot
+		}
+		delete(e.mergedByC, evict)
+	}
+	e.mergedByC[c] = merged
 }
 
 // seedsFor returns the cached merged results of the smallest cached c value
@@ -114,7 +244,9 @@ func (e *Explainer) seedsFor(c float64) []partition.Candidate {
 	return seeds
 }
 
-// InvalidateCache drops all cached state (e.g. after editing labels).
+// InvalidateCache drops all cached search state (e.g. after editing
+// labels). The executed query and scorer states are kept: they depend only
+// on the request, not on any previous run.
 func (e *Explainer) InvalidateCache() {
 	e.part = nil
 	e.mergedByC = make(map[float64][]partition.Candidate)

@@ -1,0 +1,226 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(2)
+	c.Put("a@1|x", 1, 10)
+	c.Put("b@1|y", 2, 20)
+	if v, ok := c.Get("a@1|x"); !ok || v != 1 {
+		t.Fatalf("Get a = %v, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting a third entry evicts it.
+	c.Put("c@1|z", 3, 30)
+	if _, ok := c.Get("b@1|y"); ok {
+		t.Fatal("LRU entry b survived beyond capacity")
+	}
+	if _, ok := c.Get("a@1|x"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Bytes != 40 { // a(10) + c(30); b's 20 went with the eviction
+		t.Errorf("bytes = %d, want 40", st.Bytes)
+	}
+}
+
+func TestPutReplaceAdjustsBytes(t *testing.T) {
+	c := New(4)
+	c.Put("k", "old", 100)
+	c.Put("k", "new", 7)
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 7 {
+		t.Errorf("stats after replace = %+v", st)
+	}
+	if v, _ := c.Get("k"); v != "new" {
+		t.Errorf("value = %v", v)
+	}
+}
+
+func TestInvalidatePrefix(t *testing.T) {
+	c := New(16)
+	c.Put("sensors@1|aaa", 1, 1)
+	c.Put("sensors@1|bbb", 2, 1)
+	c.Put("sensors@2|ccc", 3, 1)
+	c.Put("expenses@1|ddd", 4, 1)
+	if n := c.InvalidatePrefix("sensors@"); n != 3 {
+		t.Fatalf("invalidated %d, want 3", n)
+	}
+	if _, ok := c.Get("expenses@1|ddd"); !ok {
+		t.Fatal("unrelated entry was invalidated")
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Invalidations != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New(16)
+	c.Put("a", 1, 5)
+	c.Put("b", 2, 5)
+	if n := c.Clear(); n != 2 {
+		t.Fatalf("cleared %d, want 2", n)
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats after clear = %+v", st)
+	}
+}
+
+func TestGetOrCreate(t *testing.T) {
+	c := New(16)
+	made := 0
+	mk := func() any { made++; return made }
+	if v := c.GetOrCreate("s", 1, mk); v != 1 {
+		t.Fatalf("first GetOrCreate = %v", v)
+	}
+	if v := c.GetOrCreate("s", 1, mk); v != 1 {
+		t.Fatalf("second GetOrCreate = %v (created a duplicate)", v)
+	}
+	if made != 1 {
+		t.Errorf("mk ran %d times", made)
+	}
+}
+
+// TestJoinCoalesces is the coalescing contract under -race: N concurrent
+// Joins of one key elect exactly one leader, every follower observes the
+// leader's payload, and after Forget a fresh Join leads again.
+func TestJoinCoalesces(t *testing.T) {
+	c := New(16)
+	const n = 32
+	var leaders, followers atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			f, leader := c.Join("key")
+			if leader {
+				leaders.Add(1)
+				f.Publish("the-job")
+				return
+			}
+			followers.Add(1)
+			if p := f.Payload(); p != "the-job" {
+				t.Errorf("follower payload = %v", p)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if leaders.Load() != 1 {
+		t.Fatalf("leaders = %d, want exactly 1", leaders.Load())
+	}
+	if followers.Load() != n-1 {
+		t.Fatalf("followers = %d, want %d", followers.Load(), n-1)
+	}
+	if got := c.Stats().Coalesced; got != n-1 {
+		t.Errorf("coalesced stat = %d, want %d", got, n-1)
+	}
+
+	// The flight is still registered (leader has not Forgotten it yet):
+	// late joiners keep attaching to it.
+	if f, leader := c.Join("key"); leader {
+		t.Fatal("late Join led a second flight while the first was live")
+	} else if f.Payload() != "the-job" {
+		t.Fatal("late Join saw the wrong payload")
+	}
+
+	// After Forget, the next Join leads a fresh flight.
+	f, _ := c.Join("key")
+	f.Forget()
+	if c.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after Forget", c.InFlight())
+	}
+	if _, leader := c.Join("key"); !leader {
+		t.Fatal("Join after Forget did not lead")
+	}
+}
+
+// TestAbandon checks followers of an abandoned flight observe a nil
+// payload (their cue to admit their own work).
+func TestAbandon(t *testing.T) {
+	c := New(16)
+	f, leader := c.Join("key")
+	if !leader {
+		t.Fatal("first Join must lead")
+	}
+	done := make(chan any, 1)
+	f2, leader2 := c.Join("key")
+	if leader2 {
+		t.Fatal("second Join led")
+	}
+	go func() { done <- f2.Payload() }()
+	f.Abandon()
+	if p := <-done; p != nil {
+		t.Fatalf("abandoned payload = %v, want nil", p)
+	}
+	if c.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after Abandon", c.InFlight())
+	}
+}
+
+// TestForgetIdempotentUnderRace hammers Forget from many goroutines while
+// new Joins create successor flights; successor registrations must never
+// be deleted by a stale Forget.
+func TestForgetIdempotentUnderRace(t *testing.T) {
+	c := New(16)
+	for round := 0; round < 50; round++ {
+		f, leader := c.Join("key")
+		if !leader {
+			t.Fatal("expected to lead")
+		}
+		f.Publish(round)
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); f.Forget() }()
+		}
+		wg.Wait()
+		if c.InFlight() != 0 {
+			t.Fatalf("round %d: in-flight = %d", round, c.InFlight())
+		}
+	}
+}
+
+// TestConcurrentMixedUse runs Get/Put/Invalidate/Join concurrently so the
+// race detector can inspect the locking.
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("t%d@1|%d", g%2, i%16)
+				switch i % 4 {
+				case 0:
+					c.Put(key, i, int64(i%32))
+				case 1:
+					c.Get(key)
+				case 2:
+					if f, leader := c.Join(key); leader {
+						f.Publish(i)
+						f.Forget()
+					} else {
+						f.Payload()
+					}
+				case 3:
+					c.InvalidatePrefix("t0@")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -34,6 +34,13 @@ type Entry struct {
 	Source string
 	// LoadedAt is the registration time.
 	LoadedAt time.Time
+	// Gen is the entry's content generation: a catalog-wide counter
+	// assigned at registration, so replacing a table (upload over an
+	// existing name, replace-on-Add) yields an entry with a new Gen even
+	// though the name is unchanged. Caches key their entries by
+	// (Name, Gen); a replace or an unload-then-reload can therefore never
+	// serve results computed against the old data.
+	Gen int64
 }
 
 // Rows returns the entry's row count.
@@ -49,6 +56,7 @@ var validName = regexp.MustCompile(`^[A-Za-z0-9_][A-Za-z0-9_.-]*$`)
 type Catalog struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
+	gen     int64 // generation counter; incremented on every Add
 }
 
 // New returns an empty catalog.
@@ -65,8 +73,9 @@ func (c *Catalog) Add(name string, table *relation.Table, source string) (*Entry
 	if table == nil {
 		return nil, fmt.Errorf("catalog: table %q is nil", name)
 	}
-	e := &Entry{Name: name, Table: table, Source: source, LoadedAt: time.Now()}
 	c.mu.Lock()
+	c.gen++
+	e := &Entry{Name: name, Table: table, Source: source, LoadedAt: time.Now(), Gen: c.gen}
 	c.entries[name] = e
 	c.mu.Unlock()
 	return e, nil

@@ -147,3 +147,45 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestGenerations checks the content-generation counter caches key by:
+// every Add — including replace-on-Add over an existing name and a reload
+// after Remove — yields a strictly newer Gen, so no cache entry keyed by
+// (name, gen) can ever resolve against different data.
+func TestGenerations(t *testing.T) {
+	c := New()
+	tbl, err := relation.ReadCSV(strings.NewReader(sampleCSV), relation.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := c.Add("t", tbl, "builtin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Add("t", tbl, "builtin") // replace-on-Add, same name
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Gen <= e1.Gen {
+		t.Fatalf("replace-on-Add gen %d not newer than %d", e2.Gen, e1.Gen)
+	}
+	if !c.Remove("t") {
+		t.Fatal("Remove failed")
+	}
+	e3, err := c.Add("t", tbl, "builtin") // reload after unload
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Gen <= e2.Gen {
+		t.Fatalf("reload gen %d not newer than %d", e3.Gen, e2.Gen)
+	}
+	// Distinct names draw from the same counter: gens are unique
+	// catalog-wide, never reused across names.
+	e4, err := c.Add("u", tbl, "builtin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4.Gen <= e3.Gen {
+		t.Fatalf("gen %d reused across names (prev %d)", e4.Gen, e3.Gen)
+	}
+}

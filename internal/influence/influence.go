@@ -107,10 +107,14 @@ func (t *Task) Validate() error {
 	return nil
 }
 
-// value returns the aggregate attribute of row r (0 for count(*)).
-func (t *Task) value(r int) float64 {
+// Value returns the aggregate attribute of row r. For count(*) (AggCol
+// < 0) every tuple contributes 1 to the aggregate, so 1 is returned —
+// callers such as the algorithm chooser can then run data-dependent
+// property checks (§5.3's check(D)) on real per-tuple values instead of an
+// empty projection.
+func (t *Task) Value(r int) float64 {
 	if t.AggCol < 0 {
-		return 0
+		return 1
 	}
 	return t.Table.Floats(t.AggCol)[r]
 }
@@ -118,7 +122,7 @@ func (t *Task) value(r int) float64 {
 // groupValues projects the aggregate attribute over a group.
 func (t *Task) groupValues(g Group) []float64 {
 	out := make([]float64, 0, g.Rows.Count())
-	g.Rows.ForEach(func(r int) { out = append(out, t.value(r)) })
+	g.Rows.ForEach(func(r int) { out = append(out, t.Value(r)) })
 	return out
 }
 
@@ -231,8 +235,11 @@ func (s *Scorer) Task() *Task { return s.task }
 // Incremental reports whether the scorer runs the §5.1 incremental path.
 func (s *Scorer) Incremental() bool { return s.rem != nil }
 
-// Calls reports how many (group × predicate) Δ evaluations have run —
-// the Scorer cost metric used by the Merger optimization experiments.
+// Calls reports how many Δ evaluations have run — (group × predicate)
+// scorings plus the single-tuple evaluations the DT partitioner uses to
+// label tuples. It is the Scorer cost metric used by the Merger
+// optimization experiments and by the serving layer to demonstrate
+// §8.3.3 partition reuse (a reused partitioning skips all re-labeling).
 func (s *Scorer) Calls() int64 { return s.calls.Load() }
 
 // OutlierResult returns the cached original aggregate value of outlier i.
@@ -256,10 +263,10 @@ func (s *Scorer) delta(g Group, orig float64, state aggregate.State, p predicate
 		if p.Match(t.Table, r) {
 			matched++
 			if s.rem != nil {
-				matchedVals = append(matchedVals, t.value(r))
+				matchedVals = append(matchedVals, t.Value(r))
 			}
 		} else if s.rem == nil {
-			restVals = append(restVals, t.value(r))
+			restVals = append(restVals, t.Value(r))
 		}
 	})
 	if matched == 0 {
@@ -416,9 +423,10 @@ func (s *Scorer) holdStateAt(i int) aggregate.State {
 }
 
 func (s *Scorer) tupleInfluence(g Group, orig float64, state aggregate.State, r int) float64 {
+	s.calls.Add(1)
 	t := s.task
 	if s.rem != nil {
-		st := s.rem.Remove(state, s.rem.State([]float64{t.value(r)}))
+		st := s.rem.Remove(state, s.rem.State([]float64{t.Value(r)}))
 		if t.Perturb != nil {
 			st = s.rem.Update(st, s.rem.State([]float64{*t.Perturb}))
 		}
@@ -433,7 +441,7 @@ func (s *Scorer) tupleInfluence(g Group, orig float64, state aggregate.State, r 
 	rest := make([]float64, 0, g.Rows.Count())
 	g.Rows.ForEach(func(rr int) {
 		if rr != r {
-			rest = append(rest, t.value(rr))
+			rest = append(rest, t.Value(rr))
 		}
 	})
 	if t.Perturb != nil {
@@ -466,3 +474,20 @@ func (s *Scorer) MaxTupleInfluence(p predicate.Predicate) float64 {
 // ResetCache clears the memoized predicate scores (used when the task's C
 // changes between runs while keeping cached group states).
 func (s *Scorer) ResetCache() { s.cache.reset() }
+
+// SetC updates the task's c knob in place and clears the memoized
+// predicate scores; the cached per-group aggregate states — which do not
+// depend on c — are kept, so a c sweep pays only re-scoring, never state
+// rebuilding. Not safe to call concurrently with scoring: callers (the
+// Explainer's per-session c sweeps) serialize runs.
+func (s *Scorer) SetC(c float64) error {
+	if c < 0 {
+		return fmt.Errorf("influence: c %v must be non-negative", c)
+	}
+	if s.task.C == c {
+		return nil // same knob: the memoized scores stay valid
+	}
+	s.task.C = c
+	s.cache.reset()
+	return nil
+}

@@ -80,6 +80,14 @@ type Task struct {
 	// while the job runs. Run may return a non-nil result together with a
 	// context error to expose best-so-far partial answers.
 	Run func(ctx context.Context, workers int, report func(any)) (any, error)
+	// OnDone, when non-nil, runs synchronously with the job's final result
+	// and error on EVERY terminal path (done, failed, canceled — even
+	// canceled while still queued), strictly before the job's Done channel
+	// closes. Waiters that observe Done therefore observe OnDone's effects
+	// — the server relies on this to populate its result cache before any
+	// waiter can re-ask. It runs under scheduler locks: keep it fast and
+	// never call back into the scheduler.
+	OnDone func(result any, err error)
 }
 
 // Job is one submitted task. All exported methods are safe for concurrent
@@ -90,6 +98,9 @@ type Job struct {
 	cancel context.CancelFunc
 	ctx    context.Context
 	done   chan struct{}
+	// instant marks SubmitDone (cache-hit) jobs, which retire through the
+	// scheduler's instant retention ring instead of the regular one.
+	instant bool
 
 	mu       sync.Mutex
 	status   Status
@@ -177,6 +188,10 @@ type Scheduler struct {
 	queue    []*Job
 	jobs     map[string]*Job
 	finished []string // terminal job ids, oldest first, for retention pruning
+	// instant holds SubmitDone (cache-hit) job ids in their own retention
+	// ring: unbounded hit traffic must not evict real finished jobs that
+	// clients still poll.
+	instant []string
 }
 
 // Options tunes a scheduler.
@@ -247,6 +262,15 @@ func (s *Scheduler) Submit(task Task) (*Job, error) {
 	if len(s.queue) >= s.queueCap {
 		return nil, ErrQueueFull
 	}
+	job := s.newJobLocked(task)
+	s.queue = append(s.queue, job)
+	s.pruneLocked()
+	s.dispatchLocked()
+	return job, nil
+}
+
+// newJobLocked constructs and registers a queued job; callers hold s.mu.
+func (s *Scheduler) newJobLocked(task Task) *Job {
 	s.seq++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	job := &Job{
@@ -259,9 +283,30 @@ func (s *Scheduler) Submit(task Task) (*Job, error) {
 		created: time.Now(),
 	}
 	s.jobs[job.id] = job
-	s.queue = append(s.queue, job)
-	s.pruneLocked()
-	s.dispatchLocked()
+	return job
+}
+
+// SubmitDone registers a task as an already-completed job carrying result
+// — the serving path for cache hits. The job is terminal (StatusDone) the
+// moment Submit returns: it is queryable and cancelable like any other
+// retained job, but consumed no queue slot and no worker budget, and its
+// Run (which may be nil) is never invoked. These jobs retire through
+// their own retention ring, so a flood of them can never evict a real
+// finished job a client is still polling.
+func (s *Scheduler) SubmitDone(task Task, result any) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	// The closures are never invoked on this path; drop them so a retained
+	// instant job does not pin the task's captures (for the server: the
+	// compiled request and its table) beyond the data's lifetime.
+	task.Run = nil
+	task.OnDone = nil
+	job := s.newJobLocked(task)
+	job.instant = true
+	s.finalizeLocked(job, result, nil, StatusDone)
 	return job, nil
 }
 
@@ -350,6 +395,12 @@ func (s *Scheduler) Remove(id string) bool {
 	for i, fid := range s.finished {
 		if fid == id {
 			s.finished = append(s.finished[:i], s.finished[i+1:]...)
+			return true
+		}
+	}
+	for i, fid := range s.instant {
+		if fid == id {
+			s.instant = append(s.instant[:i], s.instant[i+1:]...)
 			break
 		}
 	}
@@ -447,17 +498,32 @@ func (s *Scheduler) finalizeLocked(job *Job, result any, err error, status Statu
 	// this every completed job would stay in baseCtx's children for the
 	// scheduler's lifetime.
 	job.cancel()
-	s.finished = append(s.finished, job.id)
+	// Instant (cache-hit) jobs retire through their own ring so a flood
+	// of them can never evict — not even transiently — a real finished
+	// job a client still polls.
+	if job.instant {
+		s.instant = append(s.instant, job.id)
+	} else {
+		s.finished = append(s.finished, job.id)
+	}
+	if job.task.OnDone != nil {
+		job.task.OnDone(result, err)
+	}
 	close(job.done)
 	s.pruneLocked()
 }
 
-// pruneLocked evicts the oldest terminal jobs beyond the retention cap;
-// callers hold s.mu.
+// pruneLocked evicts the oldest terminal jobs beyond the retention cap —
+// each ring against its own cap; callers hold s.mu.
 func (s *Scheduler) pruneLocked() {
 	for len(s.finished) > s.retain {
 		id := s.finished[0]
 		s.finished = s.finished[1:]
+		delete(s.jobs, id)
+	}
+	for len(s.instant) > s.retain {
+		id := s.instant[0]
+		s.instant = s.instant[1:]
 		delete(s.jobs, id)
 	}
 }

@@ -386,3 +386,61 @@ func TestConcurrentSubmitters(t *testing.T) {
 		t.Errorf("InUse after drain = %d", got)
 	}
 }
+
+// TestSubmitDone covers the cache-hit admission path: the job is terminal
+// immediately, carries its result, spent no budget, and still participates
+// in retention.
+func TestSubmitDone(t *testing.T) {
+	s := New(Options{Budget: 1, Retain: 2})
+	defer s.Close()
+	job, err := s.SubmitDone(Task{Kind: "explain", Table: "t"}, "cached-result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	default:
+		t.Fatal("SubmitDone job not terminal at return")
+	}
+	if res, err := job.Result(); err != nil || res != "cached-result" {
+		t.Fatalf("Result = %v, %v", res, err)
+	}
+	if v := job.View(); v.Status != StatusDone || !v.Started.IsZero() || v.Workers != 0 {
+		t.Fatalf("view = %+v (must never have run)", v)
+	}
+	if s.InUse() != 0 || s.QueueLen() != 0 {
+		t.Fatalf("budget touched: inUse=%d queue=%d", s.InUse(), s.QueueLen())
+	}
+	// REAL finished jobs must survive any flood of SubmitDone jobs — even
+	// with the regular retention ring already AT its cap, where a single
+	// extra entry would trigger eviction: instant jobs must never transit
+	// that ring, not even transiently.
+	run := func(context.Context, int, func(any)) (any, error) { return "searched", nil }
+	var reals []*Job
+	for i := 0; i < 2; i++ { // fill the ring to Retain=2 exactly
+		r, err := s.Submit(Task{Run: run})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-r.Done()
+		reals = append(reals, r)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.SubmitDone(Task{}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range reals {
+		if _, ok := s.Get(r.ID()); !ok {
+			t.Errorf("real finished job %s was evicted by SubmitDone flood", r.ID())
+		}
+	}
+	// The instant ring itself is bounded by the same retention cap.
+	if _, ok := s.Get(job.ID()); ok {
+		t.Error("oldest SubmitDone job survived retention")
+	}
+	s.Close()
+	if _, err := s.SubmitDone(Task{}, nil); err != ErrClosed {
+		t.Errorf("SubmitDone after Close = %v, want ErrClosed", err)
+	}
+}

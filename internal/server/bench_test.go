@@ -1,0 +1,97 @@
+package server
+
+// BenchmarkExplainCached measures what the result cache buys on repeated
+// identical traffic — the paper's interactive workload (§8.3.3) served
+// over HTTP. Three modes on the same request:
+//
+//   - cold:   every request bypasses the cache (full search each time)
+//   - warm:   every request after the first is a cache hit
+//   - csweep: each request alternates c, so the result cache misses but
+//     the Explainer session reuses the DT partitioning
+//
+// The recorded baseline lives in BENCH_cache.json; re-record with
+//
+//	go test -run '^$' -bench BenchmarkExplainCached -benchtime 50x ./internal/server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func benchPost(b *testing.B, srv *Server, body map[string]any) *explainResult {
+	b.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/explain", bytes.NewReader(data))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("explain = %d (%s)", rec.Code, rec.Body)
+	}
+	var out explainResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		b.Fatal(err)
+	}
+	return &out
+}
+
+func BenchmarkExplainCached(b *testing.B) {
+	base := func() map[string]any {
+		return map[string]any{
+			"sql":                "SELECT avg(v), grp FROM t GROUP BY grp",
+			"outliers":           []string{"g2", "g3"},
+			"all_others_holdout": true,
+			"algorithm":          "dt",
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		srv := New(bigTable(b))
+		defer srv.Close()
+		body := base()
+		body["cache"] = "bypass"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, srv, body)
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		srv := New(bigTable(b))
+		defer srv.Close()
+		body := base()
+		benchPost(b, srv, body) // populate
+		b.ResetTimer()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			if res := benchPost(b, srv, body); res.Cached != nil && *res.Cached {
+				hits++
+			}
+		}
+		b.ReportMetric(float64(hits)/float64(b.N), "hit-ratio")
+	})
+
+	b.Run("csweep", func(b *testing.B) {
+		srv := New(bigTable(b))
+		defer srv.Close()
+		body := base()
+		body["c"] = 1.0
+		benchPost(b, srv, body) // build the session's partitioning
+		b.ResetTimer()
+		reused := 0
+		for i := 0; i < b.N; i++ {
+			// A distinct c each iteration: the result cache misses, so every
+			// request exercises the session's partition reuse.
+			body["c"] = float64(i%997) / 1000.0
+			if res := benchPost(b, srv, body); res.ReusedPartition {
+				reused++
+			}
+		}
+		b.ReportMetric(float64(reused)/float64(b.N), "partition-reuse-ratio")
+	})
+}

@@ -1,0 +1,349 @@
+package server
+
+// Server-level result caching and request coalescing (§8.3.3 serving
+// path). Three cooperating pieces make repeated traffic cheap rather than
+// merely schedulable:
+//
+//   - a bounded LRU of finished /explain results keyed by a canonical
+//     request fingerprint (internal/cache.Cache): a repeated identical
+//     request is answered from memory as an instantly-terminal job,
+//     spending zero worker budget;
+//   - flight coalescing on the same keys: N concurrent identical requests
+//     admit ONE search job and all wait on (or poll) it;
+//   - per-(table, query, labels, lambda) Explainer sessions: a request
+//     that differs from a previous one only in the c knob reuses the
+//     session's cached DT partitioning and high-c merge seeds instead of
+//     re-partitioning.
+//
+// Keys embed the catalog entry's generation ("<table>@<gen>|<hash>"), so
+// uploading over, replacing, or unloading a table can never serve results
+// computed against the old data; the handlers additionally invalidate the
+// "<table>@" prefix proactively to free dead entries.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	scorpion "github.com/scorpiondb/scorpion"
+	"github.com/scorpiondb/scorpion/internal/cache"
+	"github.com/scorpiondb/scorpion/internal/catalog"
+	"github.com/scorpiondb/scorpion/internal/jobs"
+)
+
+// defaultSessionEntries bounds the Explainer session store. Sessions pin a
+// scorer (per-group aggregate states) and a DT partitioning per distinct
+// (table, query, labels, lambda), so the bound is deliberately modest.
+const defaultSessionEntries = 32
+
+// ConfigureCache sizes the server's result cache: entries > 0 sets the
+// LRU bound, entries == 0 keeps the default, and entries < 0 disables
+// result caching, coalescing, and session reuse entirely. Call before
+// serving traffic.
+func (s *Server) ConfigureCache(entries int) {
+	if entries < 0 {
+		s.cache = nil
+		s.sessions = nil
+		return
+	}
+	s.cache = cache.New(entries) // New maps 0 to cache.DefaultCapacity
+	s.sessions = cache.New(defaultSessionEntries)
+}
+
+// --- request fingerprints ----------------------------------------------
+
+// fingerprint is the canonical JSON shape hashed into cache keys. Every
+// field that changes what a search returns is present; knobs that only
+// change how fast it runs (workers, progress interval, sync vs async) are
+// deliberately absent — parallel searches return the same explanations as
+// serial ones, so they may share entries.
+type fingerprint struct {
+	SQL        string   `json:"sql"`
+	Outliers   []string `json:"outliers"`
+	Direction  string   `json:"direction"`
+	HoldOuts   []string `json:"holdouts"`
+	AllOthers  bool     `json:"all_others"`
+	Attributes []string `json:"attributes"`
+	Lambda     float64  `json:"lambda"`
+	C          *float64 `json:"c,omitempty"` // nil for the c-agnostic session key
+	Algorithm  string   `json:"algorithm"`
+	TopK       int      `json:"top_k"`
+}
+
+// explainKeys derives the result-cache key and the (c-agnostic) session
+// key for a compiled request — only the compiled scorpion.Request feeds
+// the fingerprint, never the raw HTTP body. The session key is empty when
+// session reuse cannot apply (explicitly forced NAIVE or MC searches).
+// Lambda and C are the RESOLVED values, so an explicit default, an unset
+// knob — and, after the explicit-zero fix, nothing else — map to the same
+// entry.
+func explainKeys(entry *catalog.Entry, sreq *scorpion.Request) (resultKey, sessionKey string) {
+	dir := "high"
+	if sreq.Direction == scorpion.TooLow {
+		dir = "low"
+	}
+	topK := sreq.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+	c := sreq.ResolvedC()
+	fp := fingerprint{
+		SQL:        sreq.SQL,
+		Outliers:   sortedCopy(sreq.Outliers),
+		Direction:  dir,
+		HoldOuts:   sortedCopy(sreq.HoldOuts),
+		AllOthers:  sreq.AllOthersHoldOut,
+		Attributes: sreq.Attributes,
+		Lambda:     sreq.ResolvedLambda(),
+		C:          &c,
+		Algorithm:  sreq.Algorithm.String(),
+		TopK:       topK,
+	}
+	resultKey = keyFor(entry, &fp)
+	if sreq.Algorithm == scorpion.Auto || sreq.Algorithm == scorpion.DT {
+		fp.C = nil
+		sessionKey = keyFor(entry, &fp)
+	}
+	return resultKey, sessionKey
+}
+
+// keyFor renders "<table>@<generation>|<hash of the canonical request>".
+// The generation makes stale hits structurally impossible; the prefix
+// before "|" is what table invalidation sweeps.
+func keyFor(entry *catalog.Entry, fp *fingerprint) string {
+	data, err := json.Marshal(fp)
+	if err != nil {
+		// Marshaling a struct of strings/floats cannot fail; treat an
+		// impossible failure as uncacheable rather than panicking.
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%s@%d|%x", entry.Name, entry.Gen, sum[:12])
+}
+
+func sortedCopy(in []string) []string {
+	out := make([]string, len(in))
+	copy(out, in)
+	sort.Strings(out)
+	return out
+}
+
+// invalidateTable drops every cached result and session belonging to the
+// named table; called when a table is uploaded over or unloaded. (Keys
+// carry the catalog generation too, so this is proactive memory hygiene,
+// not the correctness mechanism.)
+func (s *Server) invalidateTable(name string) {
+	if s.cache != nil {
+		s.cache.InvalidatePrefix(name + "@")
+	}
+	if s.sessions != nil {
+		s.sessions.InvalidatePrefix(name + "@")
+	}
+}
+
+// --- Explainer sessions -------------------------------------------------
+
+// explainSession is the per-(table, query, labels, lambda) reuse unit: one
+// Explainer whose DT partitioning and merge seeds survive across requests
+// that differ only in c. Runs are serialized per session — shared mutable
+// search state cannot be raced — while distinct sessions run concurrently.
+type explainSession struct {
+	mu    sync.Mutex
+	tried bool
+	exp   *scorpion.Explainer
+}
+
+// sessionFor resolves (or creates) the session under key; nil when session
+// reuse is disabled or inapplicable.
+func (s *Server) sessionFor(key string) *explainSession {
+	if s.sessions == nil || key == "" {
+		return nil
+	}
+	return s.sessions.GetOrCreate(key, 1, func() any { return &explainSession{} }).(*explainSession)
+}
+
+// run executes one request through the session, falling back to a plain
+// ExplainContext when the session cannot answer it. The session only
+// substitutes for searches that would run the DT path anyway: explicit DT
+// requests, and Auto requests whose aggregate resolves to DT — so reuse
+// never changes which algorithm a request observes.
+func (sess *explainSession) run(ctx context.Context, r *scorpion.Request, granted int, onProgress func(scorpion.Progress), interval time.Duration) (*scorpion.Result, error) {
+	if !sess.mu.TryLock() {
+		// The session is mid-search for another c. Don't park this job's
+		// granted workers (and its deadline, and its cancelability) on a
+		// mutex doing nothing — run sessionless instead. Only the
+		// partition reuse is forgone; the answer is identical.
+		return scorpion.ExplainContext(ctx, r)
+	}
+	if !sess.tried {
+		sess.tried = true
+		if exp, err := scorpion.NewExplainer(r); err == nil {
+			if r.Algorithm == scorpion.DT ||
+				(r.Algorithm == scorpion.Auto && exp.AutoAlgorithm() == scorpion.DT) {
+				sess.exp = exp
+			}
+		}
+		// NewExplainer errors (non-independent aggregate, bad labels) and
+		// non-DT Auto resolutions leave sess.exp nil: the decision is
+		// cached so later requests skip straight to the fallback. The very
+		// first such request pays the probe's query execution twice (once
+		// here, once in the fallback) — a one-time cost per session key;
+		// avoiding it would need ExplainContext to accept a prebuilt
+		// scorer.
+	}
+	exp := sess.exp
+	if exp == nil {
+		sess.mu.Unlock()
+		return scorpion.ExplainContext(ctx, r)
+	}
+	defer sess.mu.Unlock()
+	exp.Configure(granted, onProgress, interval)
+	res, err := exp.ExplainCContext(ctx, r.ResolvedC())
+	// Drop the per-job callback: the long-lived session must only pin the
+	// state it reuses (scorer, partitioning, merge seeds), not the
+	// finished job reachable through the progress closure.
+	exp.Configure(0, nil, 0)
+	return res, err
+}
+
+// --- coalesced in-flight jobs -------------------------------------------
+
+// inflight wraps the one job shared by coalesced identical requests, with
+// waiter accounting so a single client's disconnect does not cancel a
+// search other clients still wait on. dispatchExplain registers every
+// caller BEFORE the inflight becomes observable (the leader before
+// Publish, a follower before dispatch returns), so the counts can never
+// transiently read zero while a client still cares. waiters counts
+// synchronous handlers blocked on the job; pollers counts async
+// submissions that were handed this job id to poll — each explicit
+// DELETE retires one poller, and the job is only canceled by the last.
+type inflight struct {
+	job     *jobs.Job
+	waiters atomic.Int64
+	pollers atomic.Int64
+}
+
+// approxSize estimates a result's memory footprint for the cache's bytes
+// accounting. It is structural, not a JSON encoding: it runs inside
+// jobs.Task.OnDone — under the scheduler's lock — so it must stay O(top-k)
+// cheap.
+func approxSize(v any) int64 {
+	size := int64(256) // fixed fields: algorithm, durations, counters, key
+	m, ok := v.(map[string]any)
+	if !ok {
+		return size
+	}
+	if exps, ok := m["explanations"].([]ExplanationJSON); ok {
+		for _, e := range exps {
+			size += int64(len(e.Where)) + 96
+		}
+	}
+	return size
+}
+
+// cachedResponse clones a stored result map and marks it as served from
+// the cache. (The stored map is shared by every future hit — it must never
+// be mutated in place.)
+func cachedResponse(v any, key string) map[string]any {
+	src, ok := v.(map[string]any)
+	if !ok {
+		return map[string]any{"cached": true, "cache_key": key}
+	}
+	out := make(map[string]any, len(src)+1)
+	for k, val := range src {
+		out[k] = val
+	}
+	out["cached"] = true
+	return out
+}
+
+// dispatchExplain routes a compiled request through the cache: a hit is
+// served directly (sync) or as an instantly-terminal job (async, which
+// owes the client a pollable job id), a miss under an identical in-flight
+// request coalesces onto its job, and everything else admits a fresh job
+// whose result (on success) populates the cache. Exactly one of hit and
+// job is non-nil on success; inflight is non-nil only for coalescable
+// jobs.
+func (s *Server) dispatchExplain(plan *explainPlan, async bool) (job *jobs.Job, inf *inflight, hit map[string]any, err error) {
+	if s.cache == nil || plan.key == "" {
+		job, err := s.sched.Submit(plan.task)
+		return job, nil, nil, err
+	}
+	if v, ok := s.cache.Get(plan.key); ok {
+		res := cachedResponse(v, plan.key)
+		if !async {
+			// Serve the hit without minting a job: unbounded hit traffic
+			// must not churn the scheduler's terminal-job retention ring
+			// out from under async clients still polling real results.
+			return nil, nil, res, nil
+		}
+		job, err := s.sched.SubmitDone(plan.task, res)
+		return job, nil, nil, err
+	}
+	flight, leader := s.cache.Join(plan.key)
+	if leader {
+		// Re-check the cache after winning leadership: the previous leader
+		// may have Put its result and Forgotten the flight between our Get
+		// miss and our Join, and a redundant search would burn a full
+		// worker grant recomputing an entry already in store.
+		if v, ok := s.cache.Get(plan.key); ok {
+			flight.Abandon()
+			res := cachedResponse(v, plan.key)
+			if !async {
+				return nil, nil, res, nil
+			}
+			job, err := s.sched.SubmitDone(plan.task, res)
+			return job, nil, nil, err
+		}
+		task := plan.task
+		key := plan.key
+		// OnDone runs on every terminal path strictly before the job's
+		// Done channel closes, so a waiter that saw the job finish — and
+		// anyone it tells — is guaranteed a cache hit on re-ask. Only
+		// clean successes are cached: canceled/timeout partials and
+		// failures must re-run next time, not be served as final.
+		task.OnDone = func(res any, jerr error) {
+			if jerr == nil && res != nil {
+				s.cache.Put(key, res, approxSize(res))
+			}
+			flight.Forget()
+		}
+		job, err := s.sched.Submit(task)
+		if err != nil {
+			// Queue full / shutdown: resolve the flight so followers (and
+			// future leaders) are not stranded behind a job that never was.
+			flight.Abandon()
+			return nil, nil, nil, err
+		}
+		inf := &inflight{job: job}
+		if async {
+			inf.pollers.Store(1)
+		} else {
+			inf.waiters.Store(1) // the leader itself, counted before Publish
+		}
+		s.inflightJobs.Store(job.ID(), inf)
+		go func() {
+			<-job.Done()
+			s.inflightJobs.Delete(job.ID())
+		}()
+		flight.Publish(inf)
+		return job, inf, nil, nil
+	}
+	inf, ok := flight.Payload().(*inflight)
+	if !ok || inf == nil {
+		// The leader failed to admit its job; run independently.
+		job, err := s.sched.Submit(plan.task)
+		return job, nil, nil, err
+	}
+	if async {
+		inf.pollers.Add(1)
+	} else {
+		inf.waiters.Add(1)
+	}
+	return inf.job, inf, nil, nil
+}

@@ -311,7 +311,9 @@ func TestJobTimeout(t *testing.T) {
 }
 
 // TestQueueOverflow checks load shedding: with a budget of 1 and a queue
-// depth of 1, a third job is answered 429.
+// depth of 1, a third job is answered 429. The bodies bypass the cache —
+// without that, identical submissions coalesce onto job 1 instead of
+// queueing (see TestExplainCoalescesConcurrentDuplicates).
 func TestQueueOverflow(t *testing.T) {
 	cat := catalog.New()
 	if _, err := cat.Add("t", bigTable(t), "builtin"); err != nil {
@@ -320,7 +322,12 @@ func TestQueueOverflow(t *testing.T) {
 	srv := NewCatalog(cat, jobs.New(jobs.Options{Budget: 1, QueueCap: 1}))
 	t.Cleanup(srv.Close)
 
-	rec := postJSON(t, srv, "/jobs", slowExplainBody())
+	bypass := func() map[string]any {
+		body := slowExplainBody()
+		body["cache"] = "bypass"
+		return body
+	}
+	rec := postJSON(t, srv, "/jobs", bypass())
 	if rec.Code != http.StatusAccepted {
 		t.Fatalf("job 1 = %d (%s)", rec.Code, rec.Body)
 	}
@@ -332,10 +339,10 @@ func TestQueueOverflow(t *testing.T) {
 	pollJob(t, srv, first.JobID, 30*time.Second, func(v map[string]any) bool {
 		return v["status"] == "running"
 	})
-	if rec = postJSON(t, srv, "/jobs", slowExplainBody()); rec.Code != http.StatusAccepted {
+	if rec = postJSON(t, srv, "/jobs", bypass()); rec.Code != http.StatusAccepted {
 		t.Fatalf("job 2 = %d (%s)", rec.Code, rec.Body)
 	}
-	if rec = postJSON(t, srv, "/jobs", slowExplainBody()); rec.Code != http.StatusTooManyRequests {
+	if rec = postJSON(t, srv, "/jobs", bypass()); rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("job 3 = %d, want 429 (%s)", rec.Code, rec.Body)
 	}
 }
@@ -387,6 +394,10 @@ func TestConcurrentExplainsShareBudget(t *testing.T) {
 				"outliers":           []string{"12PM", "1PM"},
 				"all_others_holdout": true,
 				"workers":            2, // up to the whole budget (clamped to GOMAXPROCS)
+				// Bypass so every request admits its OWN job — coalescing
+				// would collapse these identical searches to one and the
+				// budget would never be contended.
+				"cache": "bypass",
 			})
 			codes[i] = rec.Code
 		}(i)

@@ -20,11 +20,19 @@
 //	GET    /jobs          — list jobs
 //	GET    /jobs/{id}     — job status, progress, best-so-far, final result
 //	DELETE /jobs/{id}     — cancel a live job / forget a finished one
+//	GET    /cache         — result-cache stats (hits/misses/coalesced/…)
+//	DELETE /cache         — drop all cached results and Explainer sessions
 //
 // The "table" parameter may be omitted while exactly one table is loaded.
 // Synchronous /explain is a thin wait-on-job wrapper, so both paths share
 // one execution story: queued admission, the per-job worker grant, progress
 // snapshots, and cancellation through the job's context.
+//
+// Repeated traffic is served from a result cache (see cache.go): an
+// identical repeat answers instantly with "cached": true, concurrent
+// identical requests coalesce onto one job, and a repeat differing only in
+// the c knob reuses the session's DT partitioning (§8.3.3). Requests opt
+// out per call with "cache": "bypass".
 package server
 
 import (
@@ -34,9 +42,11 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	scorpion "github.com/scorpiondb/scorpion"
+	"github.com/scorpiondb/scorpion/internal/cache"
 	"github.com/scorpiondb/scorpion/internal/catalog"
 	"github.com/scorpiondb/scorpion/internal/jobs"
 )
@@ -47,6 +57,16 @@ type Server struct {
 	catalog *catalog.Catalog
 	sched   *jobs.Scheduler
 	mux     *http.ServeMux
+	// cache holds finished /explain results keyed by request fingerprint
+	// and coalesces concurrent identical requests; sessions holds the
+	// per-(table, query, labels, lambda) Explainer reuse units. Both nil
+	// when caching is disabled (ConfigureCache(-1)).
+	cache    *cache.Cache
+	sessions *cache.Cache
+	// inflightJobs maps a live coalescable job's id to its inflight record
+	// so the explicit DELETE /jobs/{id} path can honor waiter accounting
+	// (one client's cancel must not kill a search others still wait on).
+	inflightJobs sync.Map
 	// ExplainTimeout bounds one explanation search once it starts running
 	// (0 = none); queue wait does not count. The deadline is enforced
 	// through the job's context: when it passes, the running search itself
@@ -87,7 +107,13 @@ func NewCatalog(cat *catalog.Catalog, sched *jobs.Scheduler) *Server {
 	if sched == nil {
 		sched = jobs.New(jobs.Options{})
 	}
-	s := &Server{catalog: cat, sched: sched, mux: http.NewServeMux()}
+	s := &Server{
+		catalog:  cat,
+		sched:    sched,
+		mux:      http.NewServeMux(),
+		cache:    cache.New(0), // 0 = cache.DefaultCapacity
+		sessions: cache.New(defaultSessionEntries),
+	}
 	s.mux.HandleFunc("GET /tables", s.handleTables)
 	s.mux.HandleFunc("POST /tables", s.handleTableUpload)
 	s.mux.HandleFunc("DELETE /tables/{name}", s.handleTableDelete)
@@ -98,6 +124,8 @@ func NewCatalog(cat *catalog.Catalog, sched *jobs.Scheduler) *Server {
 	s.mux.HandleFunc("GET /jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("GET /cache", s.handleCacheStats)
+	s.mux.HandleFunc("DELETE /cache", s.handleCacheClear)
 	return s
 }
 
@@ -165,6 +193,10 @@ func (s *Server) handleTableUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The upload may have replaced an existing table of the same name:
+	// drop its cached results and sessions. (Keys also embed the catalog
+	// generation, so this is hygiene, not the correctness mechanism.)
+	s.invalidateTable(name)
 	writeJSON(w, http.StatusCreated, map[string]any{"table": entryJSON(e)})
 }
 
@@ -174,6 +206,7 @@ func (s *Server) handleTableDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
 	}
+	s.invalidateTable(name)
 	writeJSON(w, http.StatusOK, map[string]any{"unloaded": name})
 }
 
@@ -275,6 +308,10 @@ type ExplainRequest struct {
 	// Mode selects sync (default) or "async" execution on /explain;
 	// ignored on /jobs, which is always async.
 	Mode string `json:"mode,omitempty"`
+	// Cache controls result caching for this request: "" (default) serves
+	// hits, coalesces duplicates, and reuses Explainer sessions; "bypass"
+	// forces a cold search whose result is not stored.
+	Cache string `json:"cache,omitempty"`
 }
 
 // ExplanationJSON is one ranked explanation.
@@ -320,16 +357,24 @@ func (s *Server) resolveWorkers(requested int) (int, error) {
 	return w, nil
 }
 
+// explainPlan is a compiled ExplainRequest: the schedulable task plus the
+// cache keys that route it. key is empty when the result must not be
+// cached or coalesced (caching disabled, or "cache": "bypass").
+type explainPlan struct {
+	task jobs.Task
+	key  string
+}
+
 // buildExplainTask validates an ExplainRequest and compiles it into a
-// schedulable job task. Validation errors map to the returned status code.
-func (s *Server) buildExplainTask(req *ExplainRequest) (jobs.Task, int, error) {
+// schedulable job plan. Validation errors map to the returned status code.
+func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error) {
 	entry, err := s.resolveTable(req.Table)
 	if err != nil {
-		return jobs.Task{}, http.StatusNotFound, err
+		return nil, http.StatusNotFound, err
 	}
 	workers, err := s.resolveWorkers(req.Workers)
 	if err != nil {
-		return jobs.Task{}, http.StatusBadRequest, err
+		return nil, http.StatusBadRequest, err
 	}
 	sreq := &scorpion.Request{
 		Table:            entry.Table,
@@ -346,7 +391,7 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (jobs.Task, int, error) {
 	case "low":
 		sreq.Direction = scorpion.TooLow
 	default:
-		return jobs.Task{}, http.StatusBadRequest, fmt.Errorf("bad direction %q", req.Direction)
+		return nil, http.StatusBadRequest, fmt.Errorf("bad direction %q", req.Direction)
 	}
 	switch req.Algorithm {
 	case "", "auto":
@@ -358,20 +403,33 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (jobs.Task, int, error) {
 	case "mc":
 		sreq.Algorithm = scorpion.MC
 	default:
-		return jobs.Task{}, http.StatusBadRequest, fmt.Errorf("bad algorithm %q", req.Algorithm)
+		return nil, http.StatusBadRequest, fmt.Errorf("bad algorithm %q", req.Algorithm)
 	}
+	switch req.Cache {
+	case "", "bypass":
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("bad cache %q (want bypass)", req.Cache)
+	}
+	// SetC/SetLambda, not field writes: an explicit {"c": 0} or
+	// {"lambda": 0} is a legal knob setting (§3.2 allows λ = 0) and must
+	// reach the scorer unchanged instead of being mistaken for "unset".
 	if req.C != nil {
-		sreq.C = *req.C
+		sreq.SetC(*req.C)
 	}
 	if req.Lambda != nil {
-		sreq.Lambda = *req.Lambda
+		sreq.SetLambda(*req.Lambda)
+	}
+
+	var key, sessionKey string
+	if s.cache != nil && req.Cache != "bypass" {
+		key, sessionKey = explainKeys(entry, sreq)
 	}
 
 	interval := s.ProgressInterval
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
-	return jobs.Task{
+	task := jobs.Task{
 		Kind:    "explain",
 		Table:   entry.Name,
 		Workers: workers,
@@ -380,7 +438,7 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (jobs.Task, int, error) {
 			r := *sreq
 			r.Workers = granted
 			r.ProgressInterval = interval
-			r.OnProgress = func(p scorpion.Progress) {
+			onProgress := func(p scorpion.Progress) {
 				report(JobProgress{
 					ElapsedMS:   p.Elapsed.Milliseconds(),
 					ScorerCalls: p.ScorerCalls,
@@ -388,14 +446,27 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (jobs.Task, int, error) {
 					Version:     p.Version,
 				})
 			}
-			res, err := scorpion.ExplainContext(ctx, &r)
+			r.OnProgress = onProgress
+			var res *scorpion.Result
+			var err error
+			if sess := s.sessionFor(sessionKey); sess != nil {
+				res, err = sess.run(ctx, &r, granted, onProgress, interval)
+			} else {
+				res, err = scorpion.ExplainContext(ctx, &r)
+			}
 			if res == nil {
 				return nil, err
 			}
 			// A partial (interrupted) result is still worth returning.
-			return explainResultJSON(res), err
+			out := explainResultJSON(res)
+			if key != "" {
+				out["cached"] = false
+				out["cache_key"] = key
+			}
+			return out, err
 		},
-	}, 0, nil
+	}
+	return &explainPlan{task: task, key: key}, 0, nil
 }
 
 // explainResultJSON renders a search result as the /explain response body.
@@ -416,6 +487,9 @@ func explainResultJSON(res *scorpion.Result) map[string]any {
 		"scorer_calls": res.Stats.ScorerCalls,
 		"explanations": explanations,
 	}
+	if res.Stats.ReusedPartition {
+		out["reused_partition"] = true
+	}
 	if res.Stats.Interrupted {
 		out["interrupted"] = true
 		out["interrupt_reason"] = res.Stats.InterruptReason
@@ -434,31 +508,51 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad mode %q (want sync or async)", req.Mode))
 		return
 	}
-	task, status, err := s.buildExplainTask(&req)
+	plan, status, err := s.buildExplainTask(&req)
 	if err != nil {
 		writeError(w, status, err)
 		return
 	}
 	if async {
-		s.submitAsync(w, task)
+		s.submitAsync(w, plan)
 		return
 	}
 
 	// Synchronous path: a thin wait-on-job wrapper. The search still runs
 	// as a scheduled job (same admission, budget, progress and cancel
-	// story); the handler just blocks on its completion.
-	job, err := s.sched.Submit(task)
+	// story); the handler just blocks on its completion. A cache hit is
+	// answered immediately without a job; a coalesced request waits on
+	// another request's identical job.
+	job, inf, hit, err := s.dispatchExplain(plan, false)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
 	}
+	if hit != nil {
+		writeJSON(w, http.StatusOK, hit)
+		return
+	}
+	// dispatchExplain already counted this handler in inf.waiters.
 	select {
 	case <-job.Done():
+		if inf != nil {
+			inf.waiters.Add(-1)
+		}
 	case <-r.Context().Done():
-		// Client went away or the server is draining: cancel our job and
-		// wait for it to stop (so handlers never outlive their search).
-		s.sched.Cancel(job.ID())
-		<-job.Done()
+		// Client went away or the server is draining. Cancel the job only
+		// when nobody else shares it: coalesced identical requests wait on
+		// ONE job, and async clients may be polling it. (A follower that
+		// joins in the instant between the count reaching zero and the
+		// cancel landing sees a canceled partial result — the same outcome
+		// as issuing the request during a shutdown.)
+		if inf == nil || (inf.waiters.Add(-1) == 0 && inf.pollers.Load() == 0) {
+			s.sched.Cancel(job.ID())
+			<-job.Done()
+		} else {
+			// Others still wait on the search; just stop waiting.
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("explanation canceled"))
+			return
+		}
 	}
 	result, err := job.Result()
 	if err != nil {
@@ -484,17 +578,20 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 		return
 	}
-	task, status, err := s.buildExplainTask(&req)
+	plan, status, err := s.buildExplainTask(&req)
 	if err != nil {
 		writeError(w, status, err)
 		return
 	}
-	s.submitAsync(w, task)
+	s.submitAsync(w, plan)
 }
 
-// submitAsync enqueues the task and answers 202 with the job handle.
-func (s *Server) submitAsync(w http.ResponseWriter, task jobs.Task) {
-	job, err := s.sched.Submit(task)
+// submitAsync dispatches the plan and answers 202 with the job handle. A
+// cache hit hands back an already-"done" job (poll once, get the result);
+// a coalesced duplicate hands back the SAME job id as the in-flight
+// original — the idempotency-key behavior for repeated submissions.
+func (s *Server) submitAsync(w http.ResponseWriter, plan *explainPlan) {
+	job, _, _, err := s.dispatchExplain(plan, true)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -503,6 +600,35 @@ func (s *Server) submitAsync(w http.ResponseWriter, task jobs.Task) {
 		"job_id": job.ID(),
 		"status": string(job.View().Status),
 		"poll":   "/jobs/" + job.ID(),
+	})
+}
+
+// --- cache endpoints ----------------------------------------------------
+
+// handleCacheStats reports the result cache's counters plus the session
+// store's occupancy.
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	if s.cache == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":  true,
+		"results":  s.cache.Stats(),
+		"sessions": s.sessions.Stats().Entries,
+	})
+}
+
+// handleCacheClear drops every cached result and Explainer session.
+// In-flight searches are untouched; their results repopulate the cache.
+func (s *Server) handleCacheClear(w http.ResponseWriter, _ *http.Request) {
+	if s.cache == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cleared":          s.cache.Clear(),
+		"sessions_cleared": s.sessions.Clear(),
 	})
 }
 
@@ -572,6 +698,25 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
 		return
+	}
+	// A coalesced job is shared: one client's explicit cancel must not
+	// fail the others'. Every DELETE retires one async poller (so an
+	// abandoned search never becomes uncancelable); the job is answered
+	// "shared" — and keeps running — while synchronous waiters remain or
+	// other pollers still hold the id. The CLI treats "shared" by simply
+	// continuing to poll. Clients are anonymous, so the accounting is
+	// one-DELETE-per-poller by convention: a RETRIED delete retires a
+	// second slot — treat a "shared" answer as success, don't retry it.
+	if v, ok := s.inflightJobs.Load(id); ok {
+		inf := v.(*inflight)
+		polling := inf.pollers.Load()
+		for polling > 0 && !inf.pollers.CompareAndSwap(polling, polling-1) {
+			polling = inf.pollers.Load()
+		}
+		if inf.waiters.Load() > 0 || polling > 1 {
+			writeJSON(w, http.StatusOK, map[string]any{"shared": id, "job": jobJSON(job.View())})
+			return
+		}
 	}
 	if s.sched.Cancel(id) {
 		// Live job: cancellation is in flight; report the current state.

@@ -15,7 +15,7 @@ import (
 )
 
 // testTable builds the running-example sensors table.
-func testTable(t *testing.T) *scorpion.Table {
+func testTable(t testing.TB) *scorpion.Table {
 	t.Helper()
 	schema, err := scorpion.NewSchema(
 		scorpion.Column{Name: "time", Kind: scorpion.Discrete},
@@ -183,7 +183,7 @@ func TestMethodRouting(t *testing.T) {
 
 // bigTable builds a synthetic dataset large enough that a NAIVE search over
 // several continuous attributes takes far longer than the test timeout.
-func bigTable(t *testing.T) *scorpion.Table {
+func bigTable(t testing.TB) *scorpion.Table {
 	t.Helper()
 	schema, err := scorpion.NewSchema(
 		scorpion.Column{Name: "grp", Kind: scorpion.Discrete},

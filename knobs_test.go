@@ -1,0 +1,272 @@
+package scorpion
+
+// Regression tests for the explicit-zero knob fix, the hold-out flag
+// recomputation in assemble, the count(*) algorithm auto-pick, and the
+// Explainer session's §8.3.3 partition reuse.
+
+import (
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	"github.com/scorpiondb/scorpion/internal/predicate"
+	"github.com/scorpiondb/scorpion/internal/relation"
+	"github.com/scorpiondb/scorpion/internal/synth"
+)
+
+// TestExplicitZeroKnobsReachScorer proves SetLambda(0)/SetC(0) survive to
+// the scorer's task, while plain zero fields still resolve to defaults —
+// the resolved-defaults step that un-aliases "unset" from "explicitly 0".
+func TestExplicitZeroKnobsReachScorer(t *testing.T) {
+	base := Request{
+		Table:            sensorsTable(t),
+		SQL:              "SELECT avg(temp), time FROM sensors GROUP BY time",
+		Outliers:         []string{"12PM", "1PM"},
+		AllOthersHoldOut: true,
+	}
+
+	unset := base
+	s, err := buildScorerForTest(&unset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Task().Lambda != DefaultLambda || s.Task().C != DefaultC {
+		t.Fatalf("unset knobs resolved to λ=%v c=%v, want defaults %v/%v",
+			s.Task().Lambda, s.Task().C, DefaultLambda, DefaultC)
+	}
+
+	explicit := base
+	explicit.SetLambda(0) // legal §3.2 setting: all weight on hold-outs
+	explicit.SetC(0)      // legal §7 setting: Δ unscaled by |p(g)|
+	s, err = buildScorerForTest(&explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Task().Lambda != 0 || s.Task().C != 0 {
+		t.Fatalf("explicit zeros reached the scorer as λ=%v c=%v, want 0/0",
+			s.Task().Lambda, s.Task().C)
+	}
+	if got := explicit.ResolvedLambda(); got != 0 {
+		t.Errorf("ResolvedLambda = %v, want 0", got)
+	}
+	if got := explicit.ResolvedC(); got != 0 {
+		t.Errorf("ResolvedC = %v, want 0", got)
+	}
+
+	// Non-zero field writes keep working without the setters.
+	direct := base
+	direct.Lambda, direct.C = 0.3, 0.7
+	if direct.ResolvedLambda() != 0.3 || direct.ResolvedC() != 0.7 {
+		t.Errorf("non-zero field writes resolved to λ=%v c=%v",
+			direct.ResolvedLambda(), direct.ResolvedC())
+	}
+}
+
+// TestLambdaZeroChangesRanking is the behavioral half: with λ = 0 the
+// objective is −(1−λ)·max_h|inf(h,p)| ≤ 0, so every reported influence
+// must be non-positive — under the old bug (0 silently replaced by 0.5)
+// the top influence stayed positive.
+func TestLambdaZeroChangesRanking(t *testing.T) {
+	req := &Request{
+		Table:            sensorsTable(t),
+		SQL:              "SELECT avg(temp), time FROM sensors GROUP BY time",
+		Outliers:         []string{"12PM", "1PM"},
+		AllOthersHoldOut: true,
+		Direction:        TooHigh,
+	}
+	req.SetLambda(0)
+	res, err := Explain(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Explanations {
+		if e.Influence > 0 {
+			t.Fatalf("λ=0 influence %v > 0 for %q: explicit zero was replaced by the default", e.Influence, e.Where)
+		}
+	}
+}
+
+// TestAssembleRecomputesHoldOutFlag checks assemble derives
+// InfluencesHoldOut from the exact re-scored penalty instead of copying
+// the partitioner's search-time estimate: a wrongly-true flag on a
+// predicate that touches no hold-out rows is cleared, and a wrongly-false
+// flag on one that perturbs a hold-out is set.
+func TestAssembleRecomputesHoldOutFlag(t *testing.T) {
+	req := &Request{
+		Table:            sensorsTable(t),
+		SQL:              "SELECT avg(temp), time FROM sensors GROUP BY time",
+		Outliers:         []string{"12PM", "1PM"},
+		AllOthersHoldOut: true,
+		Direction:        TooHigh,
+	}
+	scorer, err := buildScorerForTest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tempCol := req.Table.Schema().MustIndex("temp")
+	// temp ∈ [80, 200] matches rows only in the outlier groups (11AM temps
+	// are ~35): exact hold-out penalty 0, yet the search claims true.
+	outlierOnly := predicate.MustNew(predicate.NewRangeClause(tempCol, "temp", 80, 200, true))
+	// temp ∈ [34, 34.5] matches one 11AM row: exact penalty > 0, yet the
+	// search claims false.
+	holdOutTouching := predicate.MustNew(predicate.NewRangeClause(tempCol, "temp", 34, 34.5, true))
+	cands := []partition.Candidate{
+		{Pred: outlierOnly, Score: 1, InfluencesHoldOut: true},
+		{Pred: holdOutTouching, Score: 0.5, InfluencesHoldOut: false},
+	}
+	res := assemble(req, scorer, cands, nil)
+	if len(res.Explanations) != 2 {
+		t.Fatalf("explanations = %d, want 2", len(res.Explanations))
+	}
+	for _, e := range res.Explanations {
+		wantFlag := e.HoldOutPenalty > 0
+		if e.InfluencesHoldOut != wantFlag {
+			t.Errorf("%q: InfluencesHoldOut = %v contradicts exact HoldOutPenalty %v",
+				e.Where, e.InfluencesHoldOut, e.HoldOutPenalty)
+		}
+	}
+	// And the penalties themselves split as constructed.
+	if res.Explanations[0].HoldOutPenalty != 0 {
+		t.Errorf("outlier-only predicate has penalty %v", res.Explanations[0].HoldOutPenalty)
+	}
+	if res.Explanations[1].HoldOutPenalty <= 0 {
+		t.Errorf("hold-out-touching predicate has penalty %v", res.Explanations[1].HoldOutPenalty)
+	}
+}
+
+// checkRecorder is an anti-monotonic independent aggregate that records
+// what check(D) actually received.
+type checkRecorder struct {
+	sawVals []int // lengths of the value slices passed to Check
+}
+
+func (c *checkRecorder) Name() string                  { return "recorder" }
+func (c *checkRecorder) Compute(vals []float64) float64 { return float64(len(vals)) }
+func (c *checkRecorder) Independent() bool             { return true }
+func (c *checkRecorder) Check(vals []float64) bool {
+	c.sawVals = append(c.sawVals, len(vals))
+	return len(vals) > 0 // an empty projection must NOT pass
+}
+
+// TestChooseAlgorithmCountStarChecksData proves the §5.3 check(D) for a
+// count(*)-style aggregate (AggCol = -1) runs on real per-tuple values:
+// under the old code the chooser built an empty slice, the check passed
+// vacuously, and MC was picked without the data ever being inspected.
+func TestChooseAlgorithmCountStarChecksData(t *testing.T) {
+	tbl := sensorsTable(t)
+	rec := &checkRecorder{}
+	task := &influence.Task{
+		Table:  tbl,
+		Agg:    rec,
+		AggCol: -1, // count(*): no aggregate column
+		Outliers: []influence.Group{
+			{Key: "g", Rows: allRows(tbl), Direction: influence.TooHigh},
+		},
+		Lambda: 0.5,
+		C:      0.2,
+	}
+	scorer, err := influence.NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := chooseAlgorithm(&Request{Algorithm: Auto}, scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo != MC {
+		t.Fatalf("auto-picked %v, want MC (check saw real values and passed)", algo)
+	}
+	if len(rec.sawVals) != 1 || rec.sawVals[0] != tbl.NumRows() {
+		t.Fatalf("Check received value slices of lengths %v, want one slice of %d (one value per tuple)",
+			rec.sawVals, tbl.NumRows())
+	}
+}
+
+// TestCountStarAutoPicksMC is the end-to-end sanity: count(*) through SQL
+// still resolves to MC (COUNT's check is unconditionally true), now with
+// the check actually fed.
+func TestCountStarAutoPicksMC(t *testing.T) {
+	res, err := Explain(&Request{
+		Table:            sensorsTable(t),
+		SQL:              "SELECT count(*), time FROM sensors GROUP BY time",
+		Outliers:         []string{"12PM"},
+		AllOthersHoldOut: true,
+		Direction:        TooHigh,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Algorithm != MC {
+		t.Errorf("count(*) auto-picked %v, want MC", res.Stats.Algorithm)
+	}
+}
+
+func allRows(tbl *Table) *RowSet {
+	rs := relation.NewRowSet(tbl.NumRows())
+	for i := 0; i < tbl.NumRows(); i++ {
+		rs.Add(i)
+	}
+	return rs
+}
+
+// TestExplainerSessionReusesPartitioning is the §8.3.3 acceptance test at
+// the library level: the second ExplainC (new c) reports ReusedPartition
+// and spends strictly fewer scorer calls than a cold one-shot Explain at
+// the same c, while returning the same explanations.
+func TestExplainerSessionReusesPartitioning(t *testing.T) {
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 400, Groups: 6, OutlierGroups: 3, Mu: 80, Seed: 13,
+	})
+	base := &Request{
+		Table:            ds.Table,
+		SQL:              "SELECT avg(v), g FROM synth GROUP BY g",
+		Outliers:         ds.OutlierKeys,
+		AllOthersHoldOut: true,
+		Direction:        TooHigh,
+		Attributes:       ds.DimNames(),
+		Algorithm:        DT,
+	}
+	exp, err := NewExplainer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := exp.ExplainC(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.ReusedPartition {
+		t.Error("first session run claims a reused partitioning")
+	}
+	warm, err := exp.ExplainC(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stats.ReusedPartition {
+		t.Fatal("second session run did not reuse the partitioning")
+	}
+
+	cold := *base
+	cold.SetC(0.5)
+	coldRes, err := Explain(&cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.ScorerCalls >= coldRes.Stats.ScorerCalls {
+		t.Errorf("warm run spent %d scorer calls, cold %d — reuse saved nothing",
+			warm.Stats.ScorerCalls, coldRes.Stats.ScorerCalls)
+	}
+	if len(warm.Explanations) == 0 || len(coldRes.Explanations) == 0 {
+		t.Fatal("no explanations")
+	}
+	// Seeded merging may converge to a slightly different (equally valid)
+	// merged predicate than an unseeded cold run — §8.3.3 trades exact
+	// convergence for speed — so compare answer QUALITY, not identity: the
+	// warm top's exact influence must be within 10% of the cold top's.
+	warmTop, coldTop := warm.Explanations[0].Influence, coldRes.Explanations[0].Influence
+	if coldTop <= 0 {
+		t.Fatalf("cold top influence %v not positive", coldTop)
+	}
+	if warmTop < 0.9*coldTop {
+		t.Errorf("warm top influence %v degraded vs cold %v", warmTop, coldTop)
+	}
+}

@@ -259,6 +259,62 @@ type scorpionAlgo struct {
 	naiveParams *naive.Params
 }
 
+// BenchmarkExplainSharded measures sharding ONE NAIVE Explain across
+// horizontal table slices at an EQUAL worker budget (Workers=1 for both
+// sides, so the comparison is algorithmic, not core-count). The dataset is
+// the realistic sharding shape: a large group-contiguous table (rows
+// ordered by the GROUP BY key, as time-series data is) with many hold-out
+// groups and few flagged outlier groups. The sharded path wins because the
+// group-aware planner splits the hold-out-only region into slices whose
+// local searches are skipped outright, and each searched shard's scorer
+// scans only its window's slice of the flagged provenance — the combiner
+// then re-scores the deduped per-shard candidates exactly on the full
+// table (with the hold-out penalties the shard searches did not see), so
+// the top predicate matches the unsharded run's, which the bench asserts.
+// Recorded in BENCH_shard.json alongside gomaxprocs.
+func BenchmarkExplainSharded(b *testing.B) {
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 2000, Groups: 60, OutlierGroups: 4, Mu: 80, Seed: 21,
+	})
+	request := func(shards int) *Request {
+		return &Request{
+			Table:            ds.Table,
+			SQL:              "SELECT sum(v), g FROM synth GROUP BY g",
+			Outliers:         ds.OutlierKeys,
+			AllOthersHoldOut: true,
+			Direction:        TooHigh,
+			Attributes:       ds.DimNames(),
+			Algorithm:        Naive,
+			NaiveParams:      &naive.Params{Bins: 10},
+			Workers:          1,
+			Shards:           shards,
+		}
+	}
+	// The correctness side of the acceptance criterion, checked once per
+	// bench run: same top predicate, sharded or not.
+	baseline, err := Explain(request(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				if res, err = Explain(request(shards)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if len(res.Explanations) == 0 ||
+				!res.Explanations[0].Predicate.Equal(baseline.Explanations[0].Predicate) {
+				b.Fatalf("shards=%d top predicate diverged from unsharded", shards)
+			}
+			b.ReportMetric(float64(res.Stats.Shards), "shards")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}
+
 // --- Ablation benches -------------------------------------------------
 
 // benchSetup prepares a scorer + space over a standard 2D workload.

@@ -64,6 +64,7 @@ func run(ctx context.Context, args []string) error {
 		discrete  = fs.String("discrete", "", "comma-separated columns to force discrete")
 		showQuery = fs.Bool("show-query", true, "print the aggregate query result first")
 		workers   = fs.Int("workers", 0, "search worker pool (0 = serial, -1 = GOMAXPROCS)")
+		shards    = fs.Int("shards", 0, "horizontal table shards for one search (0 = auto, 1 = unsharded)")
 		timeout   = fs.Duration("timeout", 0, "search deadline (0 = none); best-so-far results are printed on expiry")
 		serverURL = fs.String("server", "", "base URL of a running scorpion-server (explain remotely instead of loading a CSV)")
 		table     = fs.String("table", "", "table name in the server's catalog (with -server; empty = its only table)")
@@ -131,6 +132,9 @@ func run(ctx context.Context, args []string) error {
 		if *topK != 5 {
 			body["top_k"] = *topK
 		}
+		if *shards != 0 {
+			body["shards"] = *shards
+		}
 		if *noCache {
 			body["cache"] = "bypass"
 		}
@@ -175,6 +179,7 @@ func run(ctx context.Context, args []string) error {
 		TopK:             *topK,
 		Attributes:       splitList(*attrs),
 		Workers:          *workers,
+		Shards:           *shards,
 	}
 	// Setters, not field writes: a flag value is always explicit, so
 	// -lambda 0 / -c 0 must reach the scorer as real zeros instead of

@@ -39,6 +39,7 @@ type remoteResult struct {
 	Algorithm       string              `json:"algorithm"`
 	DurationMS      int64               `json:"duration_ms"`
 	ScorerCalls     int64               `json:"scorer_calls"`
+	Shards          int                 `json:"shards"`
 	Explanations    []remoteExplanation `json:"explanations"`
 	Cached          bool                `json:"cached"`
 	ReusedPartition bool                `json:"reused_partition"`
@@ -59,16 +60,33 @@ type jobView struct {
 			Where     string  `json:"where"`
 			Influence float64 `json:"influence"`
 		} `json:"best"`
+		Shards []struct {
+			Shard string `json:"shard"`
+		} `json:"shards"`
 		Version int64 `json:"version"`
 	} `json:"progress"`
 	Result *remoteResult `json:"result"`
 	Error  string        `json:"error"`
 }
 
+// minPollInterval floors the -poll knob: a zero or negative interval would
+// spin the poll loop flat out against the server (and, on interrupt, the
+// wind-down loop's unconditional sleep would vanish too).
+const minPollInterval = 100 * time.Millisecond
+
+// clampPoll applies the poll-interval floor.
+func clampPoll(d time.Duration) time.Duration {
+	if d < minPollInterval {
+		return minPollInterval
+	}
+	return d
+}
+
 // runRemote drives an explanation against a running server: synchronously
 // through POST /explain, or as an async job polled for best-so-far results
 // and canceled (DELETE) when ctx fires.
 func runRemote(ctx context.Context, opts remoteOptions) error {
+	opts.poll = clampPoll(opts.poll)
 	client := &http.Client{}
 	if opts.showQuery {
 		if err := remoteQuery(ctx, client, opts); err != nil {
@@ -124,6 +142,9 @@ func runRemote(ctx context.Context, opts remoteOptions) error {
 			lastVersion = view.Progress.Version
 			line := fmt.Sprintf("[%6.2fs] %s  scorer calls %d",
 				float64(view.Progress.ElapsedMS)/1000, view.Status, view.Progress.ScorerCalls)
+			if n := len(view.Progress.Shards); n > 0 {
+				line += fmt.Sprintf("  [%d shards]", n)
+			}
 			if len(view.Progress.Best) > 0 {
 				b := view.Progress.Best[0]
 				line += fmt.Sprintf("  best %.4f WHERE %s", b.Influence, b.Where)
@@ -215,6 +236,9 @@ func printRemoteResult(res *remoteResult) {
 		note = "   (served from the server's result cache)"
 	} else if res.ReusedPartition {
 		note = "   (reused cached partitioning)"
+	}
+	if res.Shards > 1 {
+		note += fmt.Sprintf("   (%d shards)", res.Shards)
 	}
 	fmt.Printf("algorithm: %s   scorer calls: %d   elapsed: %s%s\n\n",
 		res.Algorithm, res.ScorerCalls, time.Duration(res.DurationMS)*time.Millisecond, note)

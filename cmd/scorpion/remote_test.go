@@ -3,9 +3,11 @@ package main
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -133,5 +135,64 @@ func TestRemoteFlagValidation(t *testing.T) {
 		if err := run(context.Background(), args); err == nil {
 			t.Errorf("case %d (%v): expected error", i, args)
 		}
+	}
+}
+
+// TestPollClampFloor: -poll values at or below zero are floored to a sane
+// interval instead of busy-looping the poller; positive values pass
+// through.
+func TestPollClampFloor(t *testing.T) {
+	for _, d := range []time.Duration{0, -time.Second, time.Millisecond} {
+		if got := clampPoll(d); got != minPollInterval {
+			t.Errorf("clampPoll(%v) = %v, want %v", d, got, minPollInterval)
+		}
+	}
+	for _, d := range []time.Duration{minPollInterval, 250 * time.Millisecond, 5 * time.Second} {
+		if got := clampPoll(d); got != d {
+			t.Errorf("clampPoll(%v) = %v, want unchanged", d, got)
+		}
+	}
+}
+
+// TestRemoteAsyncPollZeroDoesNotBusyLoop drives a full async run with
+// -poll 0 and counts the poll requests that actually hit the server: the
+// clamp must pace them (a busy loop would issue thousands in the first
+// 100ms alone).
+func TestRemoteAsyncPollZeroDoesNotBusyLoop(t *testing.T) {
+	f, err := os.Open(writeCSV(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	table, err := scorpion.ReadCSV(f, scorpion.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(table)
+	srv.ProgressInterval = 5 * time.Millisecond
+	t.Cleanup(srv.Close)
+
+	var polls atomic.Int64
+	counting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == "GET" && strings.HasPrefix(r.URL.Path, "/jobs/") {
+			polls.Add(1)
+		}
+		srv.ServeHTTP(w, r)
+	})
+	hs := httptest.NewServer(counting)
+	t.Cleanup(hs.Close)
+
+	err = run(context.Background(), []string{
+		"-server", hs.URL, "-async", "-poll", "0", "-show-query=false",
+		"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+		"-outliers", "g2", "-all-others",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This search finishes almost instantly; a clamped poller gets a
+	// handful of polls in, a busy loop gets thousands.
+	if got := polls.Load(); got > 50 {
+		t.Errorf("%d polls for a near-instant job: -poll 0 busy-looped", got)
 	}
 }

@@ -3,6 +3,7 @@ package scorpion
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/scorpiondb/scorpion/internal/aggregate"
@@ -15,7 +16,7 @@ import (
 	"github.com/scorpiondb/scorpion/internal/partition/naive"
 	"github.com/scorpiondb/scorpion/internal/predicate"
 	"github.com/scorpiondb/scorpion/internal/query"
-	"github.com/scorpiondb/scorpion/internal/relation"
+	"github.com/scorpiondb/scorpion/internal/shard"
 )
 
 // Algorithm selects the predicate search strategy.
@@ -111,6 +112,21 @@ type Request struct {
 	// Deprecated: use Workers, which parallelizes all three algorithms
 	// rather than NAIVE alone.
 	NaiveWorkers int
+	// Shards fans the search across horizontal slices of the table: the
+	// table is cut into (at most) Shards contiguous zero-copy views,
+	// group-aware — cut points follow the outlier provenance quantiles —
+	// the chosen algorithm runs per shard against that shard's rows only
+	// (sharing the Workers budget, the context, and one best-so-far board,
+	// tagged per shard), and the shards' candidates are deduped, re-scored
+	// exactly on the full table, and merged. 1 disables sharding; 0 (the
+	// default) picks automatically from the table size and worker budget —
+	// small tables never shard. Negative values are rejected.
+	//
+	// Shard-local scores are estimates (each shard sees only its slice of
+	// every group), so mid-search Progress numbers can differ from an
+	// unsharded run's; the final ranking is exact. See the README's
+	// "Sharded search" section for determinism caveats.
+	Shards int
 	// TopK bounds the returned explanations (default 5).
 	TopK int
 
@@ -207,9 +223,22 @@ type Progress struct {
 	// capped at the request's TopK). Scores are the search's estimates; the
 	// final Result re-scores exactly.
 	Best []BestSoFar
-	// Version changes whenever Best improved since the previous snapshot;
-	// pollers can use it to skip unchanged states.
+	// Shards holds per-shard best-so-far snapshots when the search runs
+	// sharded (Request.Shards), in shard order; nil otherwise. Shard scores
+	// are window-local estimates.
+	Shards []ShardProgress
+	// Version changes whenever Best improved since the previous snapshot —
+	// including any shard's local improvement on a sharded search; pollers
+	// can use it to skip unchanged states.
 	Version int64
+}
+
+// ShardProgress is one shard's best-so-far inside a Progress snapshot.
+type ShardProgress struct {
+	// Shard is the shard tag ("shard-0", "shard-1", ...).
+	Shard string `json:"shard"`
+	// Best holds the shard's current best predicates (local estimates).
+	Best []BestSoFar `json:"best"`
 }
 
 // BestSoFar is one partial-result predicate inside a Progress snapshot.
@@ -230,6 +259,9 @@ type Stats struct {
 	ScorerCalls int64
 	// Candidates counts predicates considered.
 	Candidates int
+	// Shards is the number of horizontal slices the search ran across
+	// (1 = unsharded).
+	Shards int
 	// ReusedPartition reports that the search skipped re-partitioning by
 	// reusing an Explainer session's cached DT partitioning (§8.3.3) — the
 	// c-sweep fast path. Always false for one-shot Explain calls.
@@ -281,6 +313,9 @@ func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("scorpion: %w", err)
 	}
+	if req.Shards < 0 {
+		return nil, fmt.Errorf("scorpion: shards %d must be >= 0 (0 = auto)", req.Shards)
+	}
 	scorer, space, qres, err := buildScorer(req)
 	if err != nil {
 		return nil, err
@@ -289,15 +324,22 @@ func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	searcher, err := buildSearcher(req, scorer, space, algo)
+	searcher, coord, err := buildTopSearcher(req, scorer, space, algo)
 	if err != nil {
 		return nil, err
+	}
+	calls := func() int64 {
+		n := scorer.Calls()
+		if coord != nil {
+			n += coord.Calls()
+		}
+		return n
 	}
 	var board *partition.Board
 	var stopMonitor func()
 	if req.OnProgress != nil {
 		board = partition.NewBoard()
-		stopMonitor = watchProgress(req, scorer, board, start, 0)
+		stopMonitor = watchProgress(req, calls, board, start)
 	}
 	outcome, err := partition.RunSearchObserved(ctx, req.effectiveWorkers(), board, searcher)
 	if stopMonitor != nil {
@@ -309,7 +351,11 @@ func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
 	res := assemble(req, scorer, outcome.Candidates, qres)
 	res.Stats.Algorithm = algo
 	res.Stats.Duration = time.Since(start)
-	res.Stats.ScorerCalls = scorer.Calls()
+	res.Stats.ScorerCalls = calls()
+	res.Stats.Shards = 1
+	if coord != nil {
+		res.Stats.Shards = coord.NumShards()
+	}
 	if outcome.Interrupted {
 		cause := ctx.Err()
 		if cause == nil {
@@ -323,12 +369,13 @@ func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
 }
 
 // watchProgress starts the OnProgress monitor goroutine: at every
-// ProgressInterval tick it samples the board and the scorer's call counter
-// (minus callsBase, so sessions reusing one scorer report THIS run's
-// calls) and delivers a Progress snapshot. The returned stop function
+// ProgressInterval tick it samples the board (global best plus any tagged
+// per-shard children) and the calls counter — a closure, so sessions can
+// subtract a baseline and sharded searches can add their shard-local
+// scorers — and delivers a Progress snapshot. The returned stop function
 // emits one final snapshot and joins the goroutine, so OnProgress is
 // never invoked after ExplainContext returns.
-func watchProgress(req *Request, scorer *influence.Scorer, board *partition.Board, start time.Time, callsBase int64) (stop func()) {
+func watchProgress(req *Request, calls func() int64, board *partition.Board, start time.Time) (stop func()) {
 	interval := req.ProgressInterval
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
@@ -337,8 +384,7 @@ func watchProgress(req *Request, scorer *influence.Scorer, board *partition.Boar
 	if topK <= 0 {
 		topK = 5
 	}
-	emit := func() {
-		cands, version := board.Snapshot()
+	render := func(cands []partition.Candidate) []BestSoFar {
 		if len(cands) > topK {
 			cands = cands[:topK]
 		}
@@ -346,10 +392,25 @@ func watchProgress(req *Request, scorer *influence.Scorer, board *partition.Boar
 		for i, c := range cands {
 			best[i] = BestSoFar{Where: c.Pred.Format(req.Table), Influence: c.Score}
 		}
+		return best
+	}
+	emit := func() {
+		// Version BEFORE content: a publish landing between the two reads
+		// then yields newer content under an older version, so the next
+		// tick still bumps and pollers re-read. The other order would pair
+		// stale content with the new version and make pollers skip the
+		// corrected snapshot forever.
+		version := board.AggregateVersion()
+		cands, _ := board.Snapshot()
+		var shards []ShardProgress
+		for _, child := range board.Children() {
+			shards = append(shards, ShardProgress{Shard: child.Tag, Best: render(child.Cands)})
+		}
 		req.OnProgress(Progress{
 			Elapsed:     time.Since(start),
-			ScorerCalls: scorer.Calls() - callsBase,
-			Best:        best,
+			ScorerCalls: calls(),
+			Best:        render(cands),
+			Shards:      shards,
 			Version:     version,
 		})
 	}
@@ -385,6 +446,113 @@ func (r *Request) effectiveWorkers() int {
 		return r.NaiveWorkers
 	}
 	return 1
+}
+
+// autoShardRows is the row volume one shard should cover when Shards is
+// auto (0): tables under 2× this never auto-shard.
+const autoShardRows = 1 << 17
+
+// maxShards caps the slice count: beyond this, per-shard setup (scorer
+// states, clause grids) outweighs any slicing benefit.
+const maxShards = 64
+
+// maxAutoSerialShards bounds auto-sharding below the worker budget. The
+// sharding win is algorithmic (skipped hold-out-only slices, window-local
+// scans — see BENCH_shard.json, recorded at Workers=1), so a serial
+// request on a huge table still benefits from a handful of slices; more
+// than the budget only helps up to this point.
+const maxAutoSerialShards = 8
+
+// ResolvedShards is the slice count the search will use: the Shards knob
+// resolved like ResolvedLambda/ResolvedC resolve theirs. Serving layers
+// consult it to route requests — a request that resolves to a sharded run
+// must bypass Explainer sessions, whose cached partitioning is a
+// full-table artifact.
+func (r *Request) ResolvedShards() int { return r.effectiveShards() }
+
+// effectiveShards resolves the Shards knob: an explicit count is clamped
+// to [1, maxShards]; 0 picks from the table size and worker budget.
+func (r *Request) effectiveShards() int {
+	k := r.Shards
+	if k == 0 {
+		rows := 0
+		if r.Table != nil {
+			rows = r.Table.NumRows()
+		}
+		workers := r.effectiveWorkers()
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		cap := workers
+		if cap < maxAutoSerialShards {
+			cap = maxAutoSerialShards
+		}
+		k = rows / autoShardRows
+		if k > cap {
+			k = cap
+		}
+	}
+	if k > maxShards {
+		k = maxShards
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// buildTopSearcher resolves the searcher ExplainContext drives: the plain
+// algorithm searcher, or — when the request shards — a shard.Coordinator
+// fanning that same algorithm across horizontal table slices. The returned
+// coordinator is nil for unsharded searches.
+func buildTopSearcher(req *Request, scorer *influence.Scorer, space *predicate.Space, algo Algorithm) (partition.Searcher, *shard.Coordinator, error) {
+	if k := req.effectiveShards(); k > 1 {
+		factory := func(sc *influence.Scorer, sp *predicate.Space, domains map[int]predicate.Domain) (partition.Searcher, error) {
+			r := req
+			if algo == Naive && (req.NaiveParams == nil || req.NaiveParams.TopK == 0) {
+				// Shard-local rankings are window estimates (shards without
+				// local hold-out rows rank unpenalized), so each shard must
+				// hand the combiner deeper recall than a final top-k for the
+				// exact re-score to recover the true winner.
+				params := naive.Params{}
+				if req.NaiveParams != nil {
+					params = *req.NaiveParams
+				}
+				params.TopK = shard.DefaultTopPerShard
+				rc := *req
+				rc.NaiveParams = &params
+				r = &rc
+			}
+			return buildSearcher(r, sc, sp, algo, domains)
+		}
+		params := shard.Params{}
+		if req.MergeParams != nil {
+			params.Merge = *req.MergeParams
+		}
+		// Tell the combiner the shard searchers' grid so its refine pass
+		// can climb to any bin edge (15 is naive/mc's shared paper
+		// default). DT has no grid; its refine lattice stays
+		// candidate-derived.
+		switch algo {
+		case Naive:
+			params.GridBins = 15
+			if req.NaiveParams != nil && req.NaiveParams.Bins > 0 {
+				params.GridBins = req.NaiveParams.Bins
+			}
+		case MC:
+			params.GridBins = 15
+			if req.MCParams != nil && req.MCParams.Bins > 0 {
+				params.GridBins = req.MCParams.Bins
+			}
+		}
+		if coord := shard.NewCoordinator(scorer, space, factory, k, params); coord.NumShards() > 1 {
+			return coord, coord, nil
+		}
+		// The planner collapsed to one slice (tiny table or concentrated
+		// outliers): run unsharded.
+	}
+	s, err := buildSearcher(req, scorer, space, algo, nil)
+	return s, nil, err
 }
 
 // buildScorer parses, executes and labels the query.
@@ -521,13 +689,19 @@ func chooseAlgorithm(req *Request, scorer *influence.Scorer) (Algorithm, error) 
 
 // buildSearcher constructs the partition.Searcher for the chosen algorithm;
 // partition.RunSearch then drives it over the request's context and worker
-// budget, so all three strategies share one execution spine.
-func buildSearcher(req *Request, scorer *influence.Scorer, space *predicate.Space, algo Algorithm) (partition.Searcher, error) {
+// budget, so all three strategies share one execution spine. domains, when
+// non-nil, pins the continuous clause-grid extents (a shard-local searcher
+// receives the global outlier extents so every shard enumerates the grid
+// the unsharded search would).
+func buildSearcher(req *Request, scorer *influence.Scorer, space *predicate.Space, algo Algorithm, domains map[int]predicate.Domain) (partition.Searcher, error) {
 	switch algo {
 	case Naive:
 		params := naive.Params{}
 		if req.NaiveParams != nil {
 			params = *req.NaiveParams
+		}
+		if domains != nil {
+			params.Domains = domains
 		}
 		return naive.NewSearcher(scorer, space, params), nil
 
@@ -549,6 +723,9 @@ func buildSearcher(req *Request, scorer *influence.Scorer, space *predicate.Spac
 		}
 		if req.MergeParams != nil {
 			params.Merge = *req.MergeParams
+		}
+		if domains != nil {
+			params.Domains = domains
 		}
 		return mc.NewSearcher(scorer, space, params), nil
 
@@ -640,9 +817,5 @@ func present(req *Request, scorer *influence.Scorer, cands []partition.Candidate
 }
 
 func outlierUnion(task *influence.Task) *RowSet {
-	u := relation.NewRowSet(task.Table.NumRows())
-	for _, g := range task.Outliers {
-		u.Or(g.Rows)
-	}
-	return u
+	return shard.OutlierUnion(task)
 }

@@ -27,6 +27,11 @@ import (
 // Explainer requires an independent aggregate (it is a DT-path facility).
 // An Explainer is NOT safe for concurrent use; callers that share one
 // across requests (the HTTP server's per-session reuse) serialize runs.
+//
+// Sessions always run unsharded: the cached DT partitioning is a
+// full-table artifact, so Request.Shards is ignored here — serving layers
+// route sharded requests (Shards > 1) through one-shot ExplainContext
+// instead of a session.
 type Explainer struct {
 	req    Request
 	scorer *influence.Scorer
@@ -118,7 +123,7 @@ func (e *Explainer) ExplainCContext(ctx context.Context, c float64) (*Result, er
 		// callsBefore as the baseline: progress snapshots of a warm run
 		// must report this run's scorer calls, not the session's lifetime
 		// total, or mid-run polls would contradict the final Stats.
-		stopMonitor = watchProgress(&r, e.scorer, board, start, callsBefore)
+		stopMonitor = watchProgress(&r, func() int64 { return e.scorer.Calls() - callsBefore }, board, start)
 	}
 	outcome, err := partition.RunSearchObserved(ctx, r.effectiveWorkers(), board, &sessionSearcher{e: e, c: c})
 	if stopMonitor != nil {

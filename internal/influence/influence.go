@@ -58,7 +58,10 @@ type Group struct {
 // Task bundles everything the Scorer needs: the data, the aggregate, the
 // flagged result groups, and the user knobs.
 type Task struct {
-	Table *relation.Table
+	// Table is the relation the task's row ids index: a whole table, or a
+	// relation.View for a shard-local task whose scorer must see only its
+	// window's rows. Group RowSets use the relation's (local) id space.
+	Table relation.Relation
 	// Agg is the aggregate under explanation.
 	Agg aggregate.Func
 	// AggCol is the aggregate attribute column index, or -1 for count(*).
@@ -137,6 +140,11 @@ func (t *Task) groupValues(g Group) []float64 {
 type Scorer struct {
 	task *Task
 	rem  aggregate.Removable // nil → black-box path
+	// tab is task.Table.Data(): the concrete columnar window. Hot loops
+	// (predicate matching, value projection) use it directly so scoring a
+	// view costs the same per row as scoring a table.
+	tab     *relation.Table
+	aggVals []float64 // tab's aggregate column; nil for count(*)
 
 	outOrig   []float64 // original aggregate value per outlier group
 	holdOrig  []float64
@@ -205,7 +213,10 @@ func NewScorer(task *Task) (*Scorer, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Scorer{task: task}
+	s := &Scorer{task: task, tab: task.Table.Data()}
+	if task.AggCol >= 0 {
+		s.aggVals = s.tab.Floats(task.AggCol)
+	}
 	s.cache.init()
 	if rem, ok := task.Agg.(aggregate.Removable); ok {
 		s.rem = rem
@@ -248,6 +259,16 @@ func (s *Scorer) OutlierResult(i int) float64 { return s.outOrig[i] }
 // HoldOutResult returns the cached original aggregate value of hold-out i.
 func (s *Scorer) HoldOutResult(i int) float64 { return s.holdOrig[i] }
 
+// value returns the aggregate attribute of local row r (1 for count(*)) —
+// the hot-path sibling of Task.Value, reading the slice cached at
+// construction instead of going through the Relation interface per row.
+func (s *Scorer) value(r int) float64 {
+	if s.aggVals == nil {
+		return 1
+	}
+	return s.aggVals[r]
+}
+
 // delta computes Δagg(group, p) and the number of matched tuples.
 func (s *Scorer) delta(g Group, orig float64, state aggregate.State, p predicate.Predicate) (float64, int) {
 	s.calls.Add(1)
@@ -260,13 +281,13 @@ func (s *Scorer) delta(g Group, orig float64, state aggregate.State, p predicate
 	}
 	g.Rows.ForEach(func(r int) {
 		total++
-		if p.Match(t.Table, r) {
+		if p.Match(s.tab, r) {
 			matched++
 			if s.rem != nil {
-				matchedVals = append(matchedVals, t.Value(r))
+				matchedVals = append(matchedVals, s.value(r))
 			}
 		} else if s.rem == nil {
-			restVals = append(restVals, t.Value(r))
+			restVals = append(restVals, s.value(r))
 		}
 	})
 	if matched == 0 {
@@ -426,7 +447,7 @@ func (s *Scorer) tupleInfluence(g Group, orig float64, state aggregate.State, r 
 	s.calls.Add(1)
 	t := s.task
 	if s.rem != nil {
-		st := s.rem.Remove(state, s.rem.State([]float64{t.Value(r)}))
+		st := s.rem.Remove(state, s.rem.State([]float64{s.value(r)}))
 		if t.Perturb != nil {
 			st = s.rem.Update(st, s.rem.State([]float64{*t.Perturb}))
 		}
@@ -441,7 +462,7 @@ func (s *Scorer) tupleInfluence(g Group, orig float64, state aggregate.State, r 
 	rest := make([]float64, 0, g.Rows.Count())
 	g.Rows.ForEach(func(rr int) {
 		if rr != r {
-			rest = append(rest, t.Value(rr))
+			rest = append(rest, s.value(rr))
 		}
 	})
 	if t.Perturb != nil {
@@ -461,7 +482,7 @@ func (s *Scorer) MaxTupleInfluence(p predicate.Predicate) float64 {
 	best := math.Inf(-1)
 	for i, g := range s.task.Outliers {
 		g.Rows.ForEach(func(r int) {
-			if p.Match(s.task.Table, r) {
+			if p.Match(s.tab, r) {
 				if v := s.TupleOutlierInfluence(i, r); v > best {
 					best = v
 				}

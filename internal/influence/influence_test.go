@@ -126,7 +126,7 @@ func TestInfluenceOfVoltagePredicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := voltagePredicate(task.Table)
+	p := voltagePredicate(task.Table.Data())
 	// α2: removes T6 → Δ = 56.6̄−35 = 21.6̄, |p(g)| = 1.
 	if got := s.OutlierInfluence(0, p); !almostEqual(got, 170.0/3-35) {
 		t.Errorf("outlier 12PM influence = %v", got)
@@ -217,7 +217,7 @@ func TestCKnob(t *testing.T) {
 	}
 
 	// c = 0 must equal raw Δ; larger c shrinks multi-tuple influence.
-	volt := voltagePredicate(task.Table)
+	volt := voltagePredicate(task.Table.Data())
 	task0 := *task
 	task0.C = 0
 	s0, _ := NewScorer(&task0)
@@ -301,7 +301,7 @@ func TestBlackBoxMatchesIncremental(t *testing.T) {
 		t.Fatal("UDA must use the black-box path")
 	}
 	preds := []predicate.Predicate{
-		voltagePredicate(task.Table),
+		voltagePredicate(task.Table.Data()),
 		predicate.True(),
 	}
 	tempCol := task.Table.Schema().MustIndex("temp")
@@ -350,7 +350,7 @@ func TestScorerCallCountingAndCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := voltagePredicate(task.Table)
+	p := voltagePredicate(task.Table.Data())
 	before := s.Calls()
 	s.Influence(p)
 	mid := s.Calls()
@@ -524,7 +524,7 @@ func TestPerturbationModeDelta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := voltagePredicate(task.Table)
+	p := voltagePredicate(task.Table.Data())
 	// 12PM: T6's 100 becomes 20 → avg{35,35,20} = 30; Δ = 56.6̄ − 30.
 	if got := s.OutlierInfluence(0, p); !almostEqual(got, 170.0/3-30) {
 		t.Errorf("perturb influence 12PM = %v, want %v", got, 170.0/3-30)
@@ -561,7 +561,7 @@ func TestPerturbationBlackBoxAgrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := voltagePredicate(task.Table)
+	p := voltagePredicate(task.Table.Data())
 	if a, b := inc.Influence(p), bb.Influence(p); !almostEqual(a, b) {
 		t.Errorf("incremental %v != black-box %v in perturbation mode", a, b)
 	}

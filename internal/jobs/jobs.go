@@ -138,6 +138,10 @@ type View struct {
 	Finished time.Time
 	// Workers is the granted budget (0 while queued).
 	Workers int
+	// QueuePos is the job's 1-based position in the admission queue while
+	// Status is queued (1 = next to be admitted); 0 otherwise. Filled by
+	// Scheduler.Jobs and Scheduler.ViewOf — a Job alone cannot know it.
+	QueuePos int
 	// Progress is the latest report from the running task, if any.
 	Progress any
 	// Result is the task's outcome once terminal.
@@ -318,17 +322,66 @@ func (s *Scheduler) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs lists all retained jobs, oldest submission first.
+// positionLocked returns a job id's 1-based admission-queue position, or 0
+// when it is not queued; callers hold s.mu.
+func (s *Scheduler) positionLocked(id string) int {
+	for i, j := range s.queue {
+		if j.id == id {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Position reports a queued job's 1-based position in the admission queue
+// (1 = next to be admitted once budget frees); 0 when the id is unknown or
+// the job is no longer queued. Clients waiting under load use it to see
+// where they stand.
+func (s *Scheduler) Position(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.positionLocked(id)
+}
+
+// ViewOf snapshots a job by id with its queue position filled in — what
+// the HTTP status endpoint serves.
+func (s *Scheduler) ViewOf(id string) (View, bool) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	var pos int
+	if ok {
+		pos = s.positionLocked(id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return View{}, false
+	}
+	v := job.View()
+	if v.Status == StatusQueued {
+		v.QueuePos = pos
+	}
+	return v, true
+}
+
+// Jobs lists all retained jobs, oldest submission first. Queued jobs carry
+// their admission-queue position (View.QueuePos).
 func (s *Scheduler) Jobs() []View {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
+	pos := make(map[string]int, len(s.queue))
+	for i, j := range s.queue {
+		pos[j.id] = i + 1
+	}
 	s.mu.Unlock()
 	views := make([]View, len(jobs))
 	for i, j := range jobs {
 		views[i] = j.View()
+		if views[i].Status == StatusQueued {
+			views[i].QueuePos = pos[views[i].ID]
+		}
 	}
 	// ids are "job-<seq>"; sort by creation time instead of parsing.
 	for i := 1; i < len(views); i++ {

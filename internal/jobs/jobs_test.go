@@ -444,3 +444,71 @@ func TestSubmitDone(t *testing.T) {
 		t.Errorf("SubmitDone after Close = %v, want ErrClosed", err)
 	}
 }
+
+// TestQueuePosition: queued jobs report their 1-based admission position
+// through Position, ViewOf and Jobs, and positions shift as the queue
+// drains or queued jobs are canceled.
+func TestQueuePosition(t *testing.T) {
+	s := New(Options{Budget: 1, QueueCap: 8})
+	defer s.Close()
+	release := make(chan struct{})
+	var running, maxRunning atomic.Int64
+
+	first, err := s.Submit(blockingTask(1, release, &running, &maxRunning))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, first, StatusRunning)
+	second, _ := s.Submit(blockingTask(1, release, &running, &maxRunning))
+	third, _ := s.Submit(blockingTask(1, release, &running, &maxRunning))
+
+	if got := s.Position(first.ID()); got != 0 {
+		t.Errorf("running job position = %d, want 0", got)
+	}
+	if got := s.Position(second.ID()); got != 1 {
+		t.Errorf("second position = %d, want 1", got)
+	}
+	if got := s.Position(third.ID()); got != 2 {
+		t.Errorf("third position = %d, want 2", got)
+	}
+	if got := s.Position("job-unknown"); got != 0 {
+		t.Errorf("unknown id position = %d", got)
+	}
+
+	// ViewOf carries the position only while queued.
+	if v, ok := s.ViewOf(second.ID()); !ok || v.QueuePos != 1 || v.Status != StatusQueued {
+		t.Errorf("ViewOf(second) = %+v", v)
+	}
+	if v, ok := s.ViewOf(first.ID()); !ok || v.QueuePos != 0 {
+		t.Errorf("ViewOf(first).QueuePos = %d, want 0", v.QueuePos)
+	}
+
+	// Jobs fills QueuePos for the queued entries.
+	for _, v := range s.Jobs() {
+		want := 0
+		switch v.ID {
+		case second.ID():
+			want = 1
+		case third.ID():
+			want = 2
+		}
+		if v.QueuePos != want {
+			t.Errorf("Jobs view %s QueuePos = %d, want %d", v.ID, v.QueuePos, want)
+		}
+	}
+
+	// Canceling the queue head promotes the job behind it.
+	if !s.Cancel(second.ID()) {
+		t.Fatal("cancel queued second failed")
+	}
+	if got := s.Position(third.ID()); got != 1 {
+		t.Errorf("third position after cancel = %d, want 1", got)
+	}
+
+	close(release)
+	<-first.Done()
+	<-third.Done()
+	if got := s.Position(third.ID()); got != 0 {
+		t.Errorf("terminal job position = %d, want 0", got)
+	}
+}

@@ -14,14 +14,94 @@ import (
 //
 // A nil *Board is valid everywhere and makes every method a no-op, so
 // searchers publish unconditionally and only observed runs pay for it.
+//
+// A board can also carry tagged child boards (Child): a sharded search
+// gives each shard its own child, whose accepted publications forward to
+// the parent's global list — so one board answers both "what is the best
+// so far overall?" (Snapshot) and "what has each shard found?" (Children).
 type Board struct {
 	mu      sync.Mutex
 	cands   []Candidate
 	version atomic.Int64
+
+	// parent, when non-nil, receives every accepted publication of this
+	// (child) board; tag names the child within its parent.
+	parent *Board
+	tag    string
+	// childVersion counts accepted child publications, so observers can
+	// detect per-shard progress even when the global best is unchanged.
+	childVersion atomic.Int64
+
+	childMu    sync.Mutex
+	children   map[string]*Board
+	childOrder []string
 }
 
 // NewBoard returns an empty board.
 func NewBoard() *Board { return &Board{} }
+
+// Child returns the named child board, creating it on first use. Accepted
+// publications to a child update the child's own best list AND forward to
+// the parent's global list. Children of a nil board are nil (and therefore
+// also no-ops).
+func (b *Board) Child(tag string) *Board {
+	if b == nil {
+		return nil
+	}
+	b.childMu.Lock()
+	defer b.childMu.Unlock()
+	if b.children == nil {
+		b.children = make(map[string]*Board)
+	}
+	c, ok := b.children[tag]
+	if !ok {
+		c = &Board{parent: b, tag: tag}
+		b.children[tag] = c
+		b.childOrder = append(b.childOrder, tag)
+	}
+	return c
+}
+
+// ChildSnapshot is one child board's state inside a Children listing.
+type ChildSnapshot struct {
+	// Tag names the child (the shard label).
+	Tag string
+	// Cands is the child's best-so-far list, descending score.
+	Cands []Candidate
+	// Version is the child's own publication version.
+	Version int64
+}
+
+// Children snapshots every child board in creation order. A board without
+// children (or a nil board) reports nil.
+func (b *Board) Children() []ChildSnapshot {
+	if b == nil {
+		return nil
+	}
+	b.childMu.Lock()
+	tags := append([]string(nil), b.childOrder...)
+	kids := make([]*Board, len(tags))
+	for i, tag := range tags {
+		kids[i] = b.children[tag]
+	}
+	b.childMu.Unlock()
+	out := make([]ChildSnapshot, len(kids))
+	for i, c := range kids {
+		cands, version := c.Snapshot()
+		out[i] = ChildSnapshot{Tag: tags[i], Cands: cands, Version: version}
+	}
+	return out
+}
+
+// AggregateVersion covers the board and its children: it changes whenever
+// the global best improves OR any child accepts a publication, so pollers
+// tracking per-shard progress can use one number. A nil board reports 0.
+func (b *Board) AggregateVersion() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.version.Load() + b.childVersion.Load()
+}
 
 // Publish replaces the board's candidates with a copy of cands, ranked by
 // descending score. Publications whose best is WORSE than the board's are
@@ -37,17 +117,25 @@ func (b *Board) Publish(cands []Candidate) {
 	copy(snapshot, cands)
 	SortByScore(snapshot)
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if len(b.cands) > 0 {
 		if snapshot[0].Score < b.cands[0].Score {
+			b.mu.Unlock()
 			return
 		}
 		if snapshot[0].Score == b.cands[0].Score && sameRanking(b.cands, snapshot) {
+			b.mu.Unlock()
 			return
 		}
 	}
 	b.cands = snapshot
 	b.version.Add(1)
+	b.mu.Unlock()
+	// Forward accepted publications up: the child's lock is released first,
+	// so parent and child locks never nest.
+	if b.parent != nil {
+		b.parent.childVersion.Add(1)
+		b.parent.Publish(snapshot)
+	}
 }
 
 // sameRanking reports whether two score-sorted candidate lists rank the

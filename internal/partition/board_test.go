@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -111,5 +112,85 @@ func TestSameRankingDistinguishesPredicates(t *testing.T) {
 	}
 	if !sameRanking(a, []Candidate{cand(1, 5)}) {
 		t.Fatal("identical ranking judged different")
+	}
+}
+
+// TestBoardChildren covers the sharded-search publication shape: children
+// keep per-shard best lists, accepted child publications forward to the
+// parent's global list, and AggregateVersion moves on any child progress.
+func TestBoardChildren(t *testing.T) {
+	b := NewBoard()
+	s0 := b.Child("shard-0")
+	s1 := b.Child("shard-1")
+	if b.Child("shard-0") != s0 {
+		t.Fatal("Child is not idempotent")
+	}
+
+	s0.Publish([]Candidate{cand(1, 5)})
+	s1.Publish([]Candidate{cand(2, 9)})
+	// A worse publication to shard-0 is rejected locally and not forwarded.
+	agg := b.AggregateVersion()
+	s0.Publish([]Candidate{cand(3, 1)})
+	if b.AggregateVersion() != agg {
+		t.Fatal("rejected child publication bumped the aggregate version")
+	}
+
+	global, _ := b.Snapshot()
+	if len(global) == 0 || global[0].Score != 9 {
+		t.Fatalf("parent best = %v, want shard-1's 9", global)
+	}
+	kids := b.Children()
+	if len(kids) != 2 || kids[0].Tag != "shard-0" || kids[1].Tag != "shard-1" {
+		t.Fatalf("children = %+v", kids)
+	}
+	if kids[0].Cands[0].Score != 5 || kids[1].Cands[0].Score != 9 {
+		t.Fatalf("per-shard bests = %v / %v", kids[0].Cands, kids[1].Cands)
+	}
+
+	// A child improvement that does NOT change the global best still moves
+	// the aggregate version (per-shard progress is observable).
+	agg = b.AggregateVersion()
+	s0.Publish([]Candidate{cand(4, 7)})
+	if b.AggregateVersion() <= agg {
+		t.Fatal("child-only improvement invisible in AggregateVersion")
+	}
+	if global, _ = b.Snapshot(); global[0].Score != 9 {
+		t.Fatalf("global best regressed to %v", global[0].Score)
+	}
+
+	// Nil boards stay no-ops throughout.
+	var nilBoard *Board
+	if nilBoard.Child("x") != nil || nilBoard.Children() != nil || nilBoard.AggregateVersion() != 0 {
+		t.Fatal("nil board children are not no-ops")
+	}
+}
+
+// TestBoardChildrenConcurrent hammers child publication from many
+// goroutines; run under -race in CI.
+func TestBoardChildrenConcurrent(t *testing.T) {
+	b := NewBoard()
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			child := b.Child(fmt.Sprintf("shard-%d", s))
+			for i := 0; i < 200; i++ {
+				child.Publish([]Candidate{cand(int32(s), float64(i))})
+			}
+		}(s)
+	}
+	wg.Wait()
+	kids := b.Children()
+	if len(kids) != 4 {
+		t.Fatalf("children = %d", len(kids))
+	}
+	for _, k := range kids {
+		if len(k.Cands) == 0 || k.Cands[0].Score != 199 {
+			t.Fatalf("shard %s best = %+v", k.Tag, k.Cands)
+		}
+	}
+	if global, _ := b.Snapshot(); global[0].Score != 199 {
+		t.Fatalf("global best = %v", global[0].Score)
 	}
 }

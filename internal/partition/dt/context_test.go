@@ -74,7 +74,7 @@ func TestPartitionContextCancellation(t *testing.T) {
 		g.Rows.ForEach(func(r int) {
 			matches := 0
 			for _, leaf := range pt.OutlierLeaves {
-				if leaf.Pred.Match(task.Table, r) {
+				if leaf.Pred.Match(task.Table.Data(), r) {
 					matches++
 				}
 			}

@@ -74,7 +74,7 @@ func TestPartitionLeavesTileOutlierGroups(t *testing.T) {
 	gO.ForEach(func(r int) {
 		matches := 0
 		for _, leaf := range pt.OutlierLeaves {
-			if leaf.Pred.Match(task.Table, r) {
+			if leaf.Pred.Match(task.Table.Data(), r) {
 				matches++
 			}
 		}
@@ -95,7 +95,7 @@ func TestCombinedPiecesTileOutlierGroups(t *testing.T) {
 	gO.ForEach(func(r int) {
 		matches := 0
 		for _, piece := range pt.Combined {
-			if piece.pred.Match(task.Table, r) {
+			if piece.pred.Match(task.Table.Data(), r) {
 				matches++
 			}
 		}
@@ -114,7 +114,7 @@ func TestLeafCardinalitiesAreExact(t *testing.T) {
 	task := scorer.Task()
 	for _, leaf := range pt.OutlierLeaves {
 		for gi, g := range task.Outliers {
-			want := leaf.Pred.Count(task.Table, g.Rows)
+			want := leaf.Pred.Count(task.Table.Data(), g.Rows)
 			if int(leaf.Cards[gi]) != want {
 				t.Fatalf("leaf %v card[%d] = %v, want %d", leaf.Pred, gi, leaf.Cards[gi], want)
 			}

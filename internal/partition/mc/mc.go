@@ -47,6 +47,10 @@ type Params struct {
 	MaxUnits int
 	// Merge configures the embedded Merger.
 	Merge merge.Params
+	// Domains optionally overrides the continuous unit-grid extents per
+	// column index (see naive.Params.Domains): a sharded search passes the
+	// global outlier extents so every shard builds an identical unit grid.
+	Domains map[int]predicate.Domain
 }
 
 func (p Params) withDefaults() Params {
@@ -191,7 +195,13 @@ func (m *runner) scoreUnits() {
 func (m *runner) initContinuousUnits(col int) {
 	t := m.task.Table
 	st := t.FloatStats(col, m.gO)
-	if st.Count == 0 || st.Max <= st.Min {
+	if st.Count == 0 {
+		return
+	}
+	if dom, ok := m.params.Domains[col]; ok && dom.Hi > dom.Lo {
+		st.Min, st.Max = dom.Lo, dom.Hi
+	}
+	if st.Max <= st.Min {
 		return
 	}
 	name := m.space.Name(col)
@@ -244,7 +254,7 @@ func (m *runner) topCodesByInfluence(col int, codes []int32, cap int) []int32 {
 }
 
 func (m *runner) addUnit(p predicate.Predicate) {
-	rows := p.Eval(m.task.Table, m.gO)
+	rows := p.Eval(m.task.Table.Data(), m.gO)
 	if rows.IsEmpty() {
 		return
 	}
@@ -339,7 +349,7 @@ func (m *runner) run() (*Result, error) {
 		// Line 15: retain units contained in some winner.
 		winnerRows := make([]*relation.RowSet, len(winners))
 		if err := m.pool.ForEach(len(winners), func(i int) {
-			winnerRows[i] = winners[i].Pred.Eval(m.task.Table, m.gO)
+			winnerRows[i] = winners[i].Pred.Eval(m.task.Table.Data(), m.gO)
 		}); err != nil {
 			m.interrupted = true
 			break

@@ -43,6 +43,13 @@ type Params struct {
 	Deadline time.Duration
 	// TopK is how many of the best candidates to retain (default 10).
 	TopK int
+	// Domains optionally overrides the continuous-range grid extents per
+	// column index. A sharded search passes the GLOBAL outlier extents so
+	// every shard enumerates an identical bin grid — candidates from
+	// different shards then dedupe and bounding-box-merge exactly, instead
+	// of differing by each window's local min/max. Unset (or empty-width)
+	// columns keep the local data-derived extent.
+	Domains map[int]predicate.Domain
 }
 
 // withDefaults fills zero fields with paper defaults.
@@ -106,7 +113,7 @@ func runPool(pool *partition.Pool, scorer *influence.Scorer, space *predicate.Sp
 	task := scorer.Task()
 
 	outRows := unionRows(task)
-	clauseSets, maxCard, err := buildClauseSets(space, task.Table, outRows, params)
+	clauseSets, maxCard, err := buildClauseSets(space, task.Table.Data(), outRows, params)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +247,9 @@ func buildClauseSets(space *predicate.Space, t *relation.Table, rows *relation.R
 			st := t.FloatStats(col, rows)
 			if st.Count == 0 {
 				continue
+			}
+			if dom, ok := params.Domains[col]; ok && dom.Hi > dom.Lo {
+				st.Min, st.Max = dom.Lo, dom.Hi
 			}
 			ac := attrClauses{col: col, name: name}
 			ac.ranges = binRanges(col, name, st.Min, st.Max, params.Bins)

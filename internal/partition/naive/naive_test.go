@@ -121,7 +121,7 @@ func TestNaiveDiscreteSubsets(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The best predicate must single out the "bad" source.
-	got := res.Best.Pred.Format(scorerTask.task.Table)
+	got := res.Best.Pred.Format(scorerTask.task.Table.Data())
 	if got != "src in ('bad')" {
 		t.Errorf("best predicate = %q, want src in ('bad')", got)
 	}

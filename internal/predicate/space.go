@@ -13,40 +13,59 @@ type Domain struct {
 	Card   int
 }
 
-// Space is the predicate search space: the subset of a table's attributes
+// Space is the predicate search space: the subset of a relation's attributes
 // (A_rest in the paper — everything that is neither the group-by key nor the
-// aggregate input) together with their observed domains.
+// aggregate input) together with their observed domains. A space built over
+// a relation.View spans only that view's rows — the shard-local search
+// space — while sharing the base table's dictionaries, so its discrete
+// clauses stay meaningful globally.
 type Space struct {
-	table   *relation.Table
+	rel     relation.Relation
+	table   *relation.Table // rel.Data(): the concrete window hot loops use
 	cols    []int
 	domains map[int]Domain
 }
 
-// NewSpace builds the search space over the named attributes of t, measuring
-// each attribute's domain over the given rows (all rows if set is nil).
-func NewSpace(t *relation.Table, attrs []string, rows *relation.RowSet) (*Space, error) {
-	s := &Space{table: t, domains: make(map[int]Domain, len(attrs))}
+// NewSpace builds the search space over the named attributes of rel,
+// measuring each attribute's domain over the given rows (local ids; all
+// rows if set is nil).
+func NewSpace(rel relation.Relation, attrs []string, rows *relation.RowSet) (*Space, error) {
+	s := &Space{rel: rel, table: rel.Data(), domains: make(map[int]Domain, len(attrs))}
 	for _, name := range attrs {
-		col, ok := t.Schema().Index(name)
+		col, ok := rel.Schema().Index(name)
 		if !ok {
 			return nil, fmt.Errorf("predicate: no attribute %q in schema", name)
 		}
 		s.cols = append(s.cols, col)
-		if t.Schema().Column(col).Kind == relation.Continuous {
-			st := t.FloatStats(col, rows)
+		if rel.Schema().Column(col).Kind == relation.Continuous {
+			st := rel.FloatStats(col, rows)
 			if st.Count == 0 {
 				st.Min, st.Max = 0, 0
 			}
 			s.domains[col] = Domain{Lo: st.Min, Hi: st.Max}
 		} else {
-			s.domains[col] = Domain{Card: t.Dict(col).Len()}
+			s.domains[col] = Domain{Card: rel.Dict(col).Len()}
 		}
 	}
 	return s, nil
 }
 
-// Table returns the base table the space is defined over.
+// Table returns the concrete columnar window the space is defined over
+// (the table itself, or a view's zero-copy sub-table). Row ids are local.
 func (s *Space) Table() *relation.Table { return s.table }
+
+// Relation returns the relation the space was built over.
+func (s *Space) Relation() relation.Relation { return s.rel }
+
+// AttrNames returns the names of the space's attributes in column order —
+// what a shard coordinator needs to rebuild the same space over a view.
+func (s *Space) AttrNames() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = s.Name(c)
+	}
+	return out
+}
 
 // Columns returns the column indexes of the space's attributes.
 func (s *Space) Columns() []int { return s.cols }

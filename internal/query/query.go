@@ -16,9 +16,11 @@ import (
 	"github.com/scorpiondb/scorpion/internal/sqlparse"
 )
 
-// AggregateQuery is a bound, executable query against a specific table.
+// AggregateQuery is a bound, executable query against a specific relation
+// — a whole table, or a relation.View whose grouping (and provenance)
+// covers only that window's rows.
 type AggregateQuery struct {
-	Table *relation.Table
+	Table relation.Relation
 	// GroupBy holds group-by column indexes.
 	GroupBy []int
 	// Agg is the aggregate function.
@@ -65,7 +67,7 @@ func GroupKey(vals []relation.Value) string {
 
 // Bind resolves column names and the aggregate, returning an executable
 // query. aggArg may be "*" only for count.
-func Bind(t *relation.Table, aggName, aggArg string, groupBy []string, where func(row int) bool) (*AggregateQuery, error) {
+func Bind(t relation.Relation, aggName, aggArg string, groupBy []string, where func(row int) bool) (*AggregateQuery, error) {
 	agg, err := aggregate.ByName(aggName)
 	if err != nil {
 		return nil, err
@@ -106,9 +108,10 @@ func Bind(t *relation.Table, aggName, aggArg string, groupBy []string, where fun
 	return q, nil
 }
 
-// FromSQL parses and binds a SQL statement against the table. The statement's
-// FROM table name is accepted as-is (the caller supplies the table).
-func FromSQL(t *relation.Table, sql string) (*AggregateQuery, error) {
+// FromSQL parses and binds a SQL statement against the relation. The
+// statement's FROM table name is accepted as-is (the caller supplies the
+// relation).
+func FromSQL(t relation.Relation, sql string) (*AggregateQuery, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -175,9 +178,10 @@ func (q *AggregateQuery) AggValues(rows *relation.RowSet) []float64 {
 
 // Run executes the query, producing one ResultRow per group with full
 // provenance. Rows are ordered by their key values (numeric-aware per
-// component).
+// component). Row ids (and the provenance RowSets) are local to the
+// query's relation.
 func (q *AggregateQuery) Run() (*Result, error) {
-	t := q.Table
+	t := q.Table.Data()
 	n := t.NumRows()
 	groups := make(map[string]*relation.RowSet)
 	keyVals := make(map[string][]relation.Value)

@@ -14,14 +14,14 @@ import (
 // a numeric literal. Equality and IN work on both kinds — numerically on
 // continuous columns, by string on discrete columns (a numeric literal is
 // rendered back to text for the comparison).
-func CompileWhere(t *relation.Table, e sqlparse.Expr) (func(row int) bool, error) {
+func CompileWhere(t relation.Relation, e sqlparse.Expr) (func(row int) bool, error) {
 	if e == nil {
 		return nil, nil
 	}
 	return compileExpr(t, e)
 }
 
-func compileExpr(t *relation.Table, e sqlparse.Expr) (func(int) bool, error) {
+func compileExpr(t relation.Relation, e sqlparse.Expr) (func(int) bool, error) {
 	switch e := e.(type) {
 	case *sqlparse.BinaryExpr:
 		left, err := compileExpr(t, e.Left)
@@ -62,7 +62,7 @@ func litText(l sqlparse.Literal) string {
 	return l.Str
 }
 
-func compileCompare(t *relation.Table, e *sqlparse.CompareExpr) (func(int) bool, error) {
+func compileCompare(t relation.Relation, e *sqlparse.CompareExpr) (func(int) bool, error) {
 	col, ok := t.Schema().Index(e.Col)
 	if !ok {
 		return nil, fmt.Errorf("query: no column %q in WHERE", e.Col)
@@ -113,7 +113,7 @@ func compileCompare(t *relation.Table, e *sqlparse.CompareExpr) (func(int) bool,
 	return func(r int) bool { return codes[r] != code }, nil
 }
 
-func compileIn(t *relation.Table, e *sqlparse.InExpr) (func(int) bool, error) {
+func compileIn(t relation.Relation, e *sqlparse.InExpr) (func(int) bool, error) {
 	col, ok := t.Schema().Index(e.Col)
 	if !ok {
 		return nil, fmt.Errorf("query: no column %q in WHERE", e.Col)

@@ -177,6 +177,80 @@ func (s *RowSet) SubsetOf(o *RowSet) bool {
 	return true
 }
 
+// Slice projects the members in [lo, hi) into a new set over the universe
+// [0, hi-lo), shifting each row by -lo — the window-local translation a
+// View needs. It panics unless 0 <= lo <= hi <= Universe().
+func (s *RowSet) Slice(lo, hi int) *RowSet {
+	if lo < 0 || hi < lo || hi > s.n {
+		panic(fmt.Sprintf("relation: slice [%d,%d) outside universe [0,%d)", lo, hi, s.n))
+	}
+	out := NewRowSet(hi - lo)
+	shift := uint(lo & 63)
+	w0 := lo >> 6
+	for i := range out.words {
+		w := s.words[w0+i] >> shift
+		if shift != 0 && w0+i+1 < len(s.words) {
+			w |= s.words[w0+i+1] << (64 - shift)
+		}
+		out.words[i] = w
+	}
+	out.trim()
+	return out
+}
+
+// Embed shifts every member by +off into a new set over the universe
+// [0, universe) — the inverse of Slice, mapping window-local rows back to
+// global ids. It panics unless off >= 0 and off+Universe() <= universe.
+func (s *RowSet) Embed(off, universe int) *RowSet {
+	if off < 0 || off+s.n > universe {
+		panic(fmt.Sprintf("relation: embed at %d of universe %d into %d", off, s.n, universe))
+	}
+	out := NewRowSet(universe)
+	shift := uint(off & 63)
+	w0 := off >> 6
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		out.words[w0+i] |= w << shift
+		if shift != 0 {
+			// High bits spilling into the next word are real members
+			// (off+row < universe), so the index is always in range.
+			if hi := w >> (64 - shift); hi != 0 {
+				out.words[w0+i+1] |= hi
+			}
+		}
+	}
+	return out
+}
+
+// CountRange returns the number of members in [lo, hi) without building a
+// new set. Bounds are clamped to the universe.
+func (s *RowSet) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if hi <= lo {
+		return 0
+	}
+	c := 0
+	wLo, wHi := lo>>6, (hi-1)>>6
+	for wi := wLo; wi <= wHi; wi++ {
+		w := s.words[wi]
+		if wi == wLo {
+			w &= ^uint64(0) << uint(lo&63)
+		}
+		if wi == wHi && hi&63 != 0 {
+			w &= (uint64(1) << uint(hi&63)) - 1
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
 // ForEach calls fn for every row in ascending order.
 func (s *RowSet) ForEach(fn func(row int)) {
 	for wi, w := range s.words {

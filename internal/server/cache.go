@@ -73,6 +73,11 @@ type fingerprint struct {
 	C          *float64 `json:"c,omitempty"` // nil for the c-agnostic session key
 	Algorithm  string   `json:"algorithm"`
 	TopK       int      `json:"top_k"`
+	// Shards is the raw sharding knob: sharded runs of the greedy
+	// algorithms (MC, DT) are distinct heuristics from unsharded ones, so
+	// they must not share entries. (Auto, 0, resolves per worker grant; its
+	// rare heuristic variance across grants is accepted as cache-equal.)
+	Shards int `json:"shards,omitempty"`
 }
 
 // explainKeys derives the result-cache key and the (c-agnostic) session
@@ -103,9 +108,14 @@ func explainKeys(entry *catalog.Entry, sreq *scorpion.Request) (resultKey, sessi
 		C:          &c,
 		Algorithm:  sreq.Algorithm.String(),
 		TopK:       topK,
+		Shards:     sreq.Shards,
 	}
 	resultKey = keyFor(entry, &fp)
-	if sreq.Algorithm == scorpion.Auto || sreq.Algorithm == scorpion.DT {
+	// Sessions cache a FULL-table DT partitioning, so any request that
+	// RESOLVES to a sharded run — explicit Shards > 1, or auto (0) on a
+	// table big enough to auto-shard — never routes through one (the
+	// Explainer would silently run it unsharded).
+	if sreq.ResolvedShards() <= 1 && (sreq.Algorithm == scorpion.Auto || sreq.Algorithm == scorpion.DT) {
 		fp.C = nil
 		sessionKey = keyFor(entry, &fp)
 	}

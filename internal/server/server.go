@@ -305,6 +305,13 @@ type ExplainRequest struct {
 	// GOMAXPROCS; other negative values are rejected. The scheduler clamps
 	// the grant against its global budget.
 	Workers int `json:"workers,omitempty"`
+	// Shards fans the search across horizontal slices of the table
+	// (scorpion.Request.Shards): 0 = auto from the table size and worker
+	// grant, 1 = unsharded, k > 1 = slice into k group-aware windows.
+	// Negative values are rejected. Sharded requests run one-shot (no
+	// Explainer-session partition reuse) and per-shard best-so-far appears
+	// in job progress snapshots.
+	Shards int `json:"shards,omitempty"`
 	// Mode selects sync (default) or "async" execution on /explain;
 	// ignored on /jobs, which is always async.
 	Mode string `json:"mode,omitempty"`
@@ -328,7 +335,10 @@ type JobProgress struct {
 	ElapsedMS   int64                `json:"elapsed_ms"`
 	ScorerCalls int64                `json:"scorer_calls"`
 	Best        []scorpion.BestSoFar `json:"best"`
-	Version     int64                `json:"version"`
+	// Shards carries per-shard best-so-far (window-local estimates) when
+	// the search runs sharded.
+	Shards  []scorpion.ShardProgress `json:"shards,omitempty"`
+	Version int64                    `json:"version"`
 }
 
 // resolveWorkers validates and resolves the per-request workers knob:
@@ -376,6 +386,9 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	if req.Shards < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad shards %d (want 0 = auto, 1 = unsharded, or a positive count)", req.Shards)
+	}
 	sreq := &scorpion.Request{
 		Table:            entry.Table,
 		SQL:              req.SQL,
@@ -384,6 +397,7 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error
 		AllOthersHoldOut: req.AllOthersHoldOut,
 		Attributes:       req.Attributes,
 		TopK:             req.TopK,
+		Shards:           req.Shards,
 	}
 	switch req.Direction {
 	case "", "high":
@@ -443,6 +457,7 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error
 					ElapsedMS:   p.Elapsed.Milliseconds(),
 					ScorerCalls: p.ScorerCalls,
 					Best:        p.Best,
+					Shards:      p.Shards,
 					Version:     p.Version,
 				})
 			}
@@ -486,6 +501,9 @@ func explainResultJSON(res *scorpion.Result) map[string]any {
 		"duration_ms":  res.Stats.Duration.Milliseconds(),
 		"scorer_calls": res.Stats.ScorerCalls,
 		"explanations": explanations,
+	}
+	if res.Stats.Shards > 1 {
+		out["shards"] = res.Stats.Shards
 	}
 	if res.Stats.ReusedPartition {
 		out["reused_partition"] = true
@@ -654,6 +672,11 @@ func jobJSON(v jobs.View) map[string]any {
 		"status":  string(v.Status),
 		"created": v.Created.UTC().Format(time.RFC3339Nano),
 	}
+	if v.Status == jobs.StatusQueued && v.QueuePos > 0 {
+		// 1 = next to be admitted; async clients use this to see where
+		// they stand under load.
+		out["position"] = v.QueuePos
+	}
 	if !v.Started.IsZero() {
 		out["started"] = v.Started.UTC().Format(time.RFC3339Nano)
 		out["workers"] = v.Workers
@@ -684,12 +707,12 @@ func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	job, ok := s.sched.Get(id)
+	view, ok := s.sched.ViewOf(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, jobJSON(job.View()))
+	writeJSON(w, http.StatusOK, jobJSON(view))
 }
 
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {

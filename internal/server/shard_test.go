@@ -1,0 +1,206 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/catalog"
+	"github.com/scorpiondb/scorpion/internal/jobs"
+)
+
+// TestExplainShardsKnob: the "shards" request knob reaches the search (the
+// response reports the slice count), invalid values are rejected, and the
+// cache keys sharded and unsharded runs separately.
+func TestExplainShardsKnob(t *testing.T) {
+	srv := New(testTable(t))
+	t.Cleanup(srv.Close)
+	body := func(shards int) map[string]any {
+		return map[string]any{
+			"sql":                "SELECT avg(temp), time FROM sensors GROUP BY time",
+			"outliers":           []string{"12PM", "1PM"},
+			"all_others_holdout": true,
+			"shards":             shards,
+		}
+	}
+
+	rec := postJSON(t, srv, "/explain", body(2))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sharded explain = %d (%s)", rec.Code, rec.Body)
+	}
+	var out map[string]any
+	decodeJSON(t, rec, &out)
+	if got, _ := out["shards"].(float64); got != 2 {
+		t.Fatalf("result shards = %v, want 2 (body %v)", out["shards"], out)
+	}
+	if len(out["explanations"].([]any)) == 0 {
+		t.Fatal("sharded explain returned no explanations")
+	}
+
+	// A repeat with the same shard count hits the cache...
+	rec = postJSON(t, srv, "/explain", body(2))
+	decodeJSON(t, rec, &out)
+	if out["cached"] != true {
+		t.Errorf("identical sharded repeat not cached: %v", out)
+	}
+	// ...but an unsharded run of the same request does not alias to it.
+	rec = postJSON(t, srv, "/explain", body(1))
+	decodeJSON(t, rec, &out)
+	if out["cached"] == true {
+		t.Error("unsharded request served from the sharded run's cache entry")
+	}
+
+	// Negative shard counts are a 400, not a search.
+	rec = postJSON(t, srv, "/explain", body(-2))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("shards=-2 = %d, want 400 (%s)", rec.Code, rec.Body)
+	}
+}
+
+// TestShardedJobProgressAndCancel is the serving half of the sharding
+// acceptance criterion: a sharded job's /jobs/{id} snapshots carry
+// per-shard best-so-far, and one DELETE cancels every shard search through
+// the job's context.
+func TestShardedJobProgressAndCancel(t *testing.T) {
+	srv := New(bigTable(t))
+	srv.ProgressInterval = 5 * time.Millisecond
+	t.Cleanup(srv.Close)
+
+	body := slowExplainBody()
+	body["shards"] = 2
+	rec := postJSON(t, srv, "/jobs", body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d (%s)", rec.Code, rec.Body)
+	}
+	var accepted struct {
+		JobID string `json:"job_id"`
+	}
+	decodeJSON(t, rec, &accepted)
+
+	// Poll until a progress snapshot carries per-shard bests.
+	view := pollJob(t, srv, accepted.JobID, 30*time.Second, func(v map[string]any) bool {
+		progress, ok := v["progress"].(map[string]any)
+		if !ok {
+			return false
+		}
+		shards, ok := progress["shards"].([]any)
+		if !ok || len(shards) == 0 {
+			return false
+		}
+		for _, s := range shards {
+			m := s.(map[string]any)
+			if m["shard"] == "" {
+				return false
+			}
+			if best, ok := m["best"].([]any); ok && len(best) > 0 {
+				return true // at least one shard has published a best
+			}
+		}
+		return false
+	})
+	_ = view
+
+	// Cancel: the job context fans into every shard pool; the job must go
+	// terminal promptly with an interrupted partial result.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("DELETE", "/jobs/"+accepted.JobID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel = %d (%s)", rec.Code, rec.Body)
+	}
+	final := pollJob(t, srv, accepted.JobID, 30*time.Second, func(v map[string]any) bool {
+		return v["status"] == "canceled"
+	})
+	if result, ok := final["result"].(map[string]any); ok {
+		if result["interrupted"] != true {
+			t.Errorf("canceled sharded job result not marked interrupted: %v", result)
+		}
+	}
+}
+
+// TestJobQueuePosition: queued jobs report their 1-based admission
+// position on GET /jobs/{id} and in the list view, and positions shift as
+// the queue drains.
+func TestJobQueuePosition(t *testing.T) {
+	cat := catalog.New()
+	if _, err := cat.Add("t", bigTable(t), "builtin"); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewCatalog(cat, jobs.New(jobs.Options{Budget: 1, QueueCap: 4}))
+	t.Cleanup(srv.Close)
+
+	bypass := func() map[string]any {
+		body := slowExplainBody()
+		body["cache"] = "bypass"
+		return body
+	}
+	submit := func() string {
+		rec := postJSON(t, srv, "/jobs", bypass())
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit = %d (%s)", rec.Code, rec.Body)
+		}
+		var accepted struct {
+			JobID string `json:"job_id"`
+		}
+		decodeJSON(t, rec, &accepted)
+		return accepted.JobID
+	}
+
+	first := submit()
+	pollJob(t, srv, first, 30*time.Second, func(v map[string]any) bool {
+		return v["status"] == "running"
+	})
+	second := submit()
+	third := submit()
+
+	wantPos := func(id string, want float64) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/jobs/"+id, nil))
+		var v map[string]any
+		decodeJSON(t, rec, &v)
+		if v["status"] != "queued" {
+			t.Fatalf("job %s status %v, want queued", id, v["status"])
+		}
+		if got, _ := v["position"].(float64); got != want {
+			t.Errorf("job %s position = %v, want %v", id, v["position"], want)
+		}
+	}
+	wantPos(second, 1)
+	wantPos(third, 2)
+
+	// The running job reports no position.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/jobs/"+first, nil))
+	var v map[string]any
+	decodeJSON(t, rec, &v)
+	if _, has := v["position"]; has {
+		t.Errorf("running job carries position %v", v["position"])
+	}
+
+	// The list view carries the same positions.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/jobs", nil))
+	var list struct {
+		Jobs []map[string]any `json:"jobs"`
+	}
+	decodeJSON(t, rec, &list)
+	byID := map[string]map[string]any{}
+	for _, j := range list.Jobs {
+		byID[j["id"].(string)] = j
+	}
+	if got, _ := byID[second]["position"].(float64); got != 1 {
+		t.Errorf("list position of %s = %v, want 1", second, byID[second]["position"])
+	}
+	if got, _ := byID[third]["position"].(float64); got != 2 {
+		t.Errorf("list position of %s = %v, want 2", third, byID[third]["position"])
+	}
+
+	// Canceling the head of the queue moves the next job up.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("DELETE", "/jobs/"+second, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel queued = %d (%s)", rec.Code, rec.Body)
+	}
+	wantPos(third, 1)
+}

@@ -21,6 +21,17 @@
 //	scorpion -server http://localhost:8080 -table readings -async \
 //	   -sql "SELECT stddev(temp), hour FROM readings GROUP BY hour" \
 //	   -outliers h012,h013 -all-others
+//
+// Streaming ingestion: -append batch.csv appends a CSV batch of rows to the
+// table before explaining (locally through an Appender snapshot, remotely
+// via POST /tables/{name}/rows — the server then answers the explanation
+// warm, re-scoring its previous candidates against the grown groups), and
+// -follow keeps re-explaining on the -poll interval as other writers append,
+// printing each refreshed answer until Ctrl-C:
+//
+//	scorpion -server http://localhost:8080 -table readings -follow \
+//	   -sql "SELECT stddev(temp), hour FROM readings GROUP BY hour" \
+//	   -outliers h012,h013 -all-others
 package main
 
 import (
@@ -69,14 +80,28 @@ func run(ctx context.Context, args []string) error {
 		serverURL = fs.String("server", "", "base URL of a running scorpion-server (explain remotely instead of loading a CSV)")
 		table     = fs.String("table", "", "table name in the server's catalog (with -server; empty = its only table)")
 		asyncMode = fs.Bool("async", false, "with -server: enqueue as a job, poll best-so-far, cancel on Ctrl-C")
-		pollEvery = fs.Duration("poll", 500*time.Millisecond, "job poll interval with -async")
+		pollEvery = fs.Duration("poll", 500*time.Millisecond, "poll interval with -async (job polls) and -follow (re-explains)")
+		appendCSV = fs.String("append", "", "CSV batch of rows to append to the table before explaining")
+		follow    = fs.Bool("follow", false, "with -server: keep re-explaining as the table grows (Ctrl-C stops)")
 		noCache   = fs.Bool("no-cache", false, "with -server: bypass the server's result cache (force a cold search)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *serverURL == "" && (*table != "" || *asyncMode || *noCache) {
-		return fmt.Errorf("-table, -async and -no-cache require -server")
+	if *serverURL == "" && (*table != "" || *asyncMode || *noCache || *follow) {
+		return fmt.Errorf("-table, -async, -no-cache and -follow require -server")
+	}
+	if *follow && *asyncMode {
+		return fmt.Errorf("-follow re-explains synchronously; drop -async")
+	}
+	if *follow && *noCache {
+		// Without the cache, every idle tick would be a full cold search
+		// and every tick would reprint an identical answer (the loop skips
+		// repeats by their "cached" marker).
+		return fmt.Errorf("-follow relies on the server cache to skip idle ticks; drop -no-cache")
+	}
+	if *serverURL != "" && *appendCSV != "" && *table == "" {
+		return fmt.Errorf("-append with -server needs -table (the append endpoint is per table)")
 	}
 	if *serverURL != "" && *csvPath != "" {
 		return fmt.Errorf("-csv and -server are mutually exclusive (the server owns the data)")
@@ -139,13 +164,15 @@ func run(ctx context.Context, args []string) error {
 			body["cache"] = "bypass"
 		}
 		return runRemote(ctx, remoteOptions{
-			base:      strings.TrimRight(*serverURL, "/"),
-			table:     *table,
-			async:     *asyncMode,
-			poll:      *pollEvery,
-			showQuery: *showQuery,
-			body:      body,
-			sql:       *sqlText,
+			base:       strings.TrimRight(*serverURL, "/"),
+			table:      *table,
+			async:      *asyncMode,
+			follow:     *follow,
+			appendPath: *appendCSV,
+			poll:       *pollEvery,
+			showQuery:  *showQuery,
+			body:       body,
+			sql:        *sqlText,
 		})
 	}
 	if *csvPath == "" || *sqlText == "" || *outliers == "" {
@@ -168,6 +195,25 @@ func run(ctx context.Context, args []string) error {
 	tbl, err := scorpion.ReadCSV(f, opts)
 	if err != nil {
 		return err
+	}
+	if *appendCSV != "" {
+		// Local streaming ingestion: the batch lands as an Appender
+		// snapshot sharing the loaded table's storage, exactly the shape
+		// the server's append path publishes.
+		af, err := os.Open(*appendCSV)
+		if err != nil {
+			return err
+		}
+		rows, err := scorpion.ParseCSVRows(af, tbl.Schema(), scorpion.CSVOptions{})
+		af.Close()
+		if err != nil {
+			return err
+		}
+		tbl, err = scorpion.AppenderFor(tbl).Append(rows)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("appended %d rows from %s (table now %d rows)\n\n", len(rows), *appendCSV, tbl.NumRows())
 	}
 
 	req := &scorpion.Request{

@@ -17,13 +17,15 @@ import (
 // remoteOptions carries one explanation request aimed at a running
 // scorpion-server instead of a locally loaded CSV.
 type remoteOptions struct {
-	base      string // server base URL, e.g. http://localhost:8080
-	table     string // catalog table name ("" = server's only table)
-	async     bool   // submit as a job and poll best-so-far
-	poll      time.Duration
-	showQuery bool
-	body      map[string]any // the /explain request body
-	sql       string
+	base       string // server base URL, e.g. http://localhost:8080
+	table      string // catalog table name ("" = server's only table)
+	async      bool   // submit as a job and poll best-so-far
+	follow     bool   // keep re-explaining as the table grows
+	appendPath string // CSV batch to append before explaining ("" = none)
+	poll       time.Duration
+	showQuery  bool
+	body       map[string]any // the /explain request body
+	sql        string
 }
 
 // remoteExplanation mirrors the server's ExplanationJSON.
@@ -43,6 +45,8 @@ type remoteResult struct {
 	Explanations    []remoteExplanation `json:"explanations"`
 	Cached          bool                `json:"cached"`
 	ReusedPartition bool                `json:"reused_partition"`
+	Refreshed       bool                `json:"refreshed"`
+	RefreshedFrom   int64               `json:"refreshed_from"`
 	Interrupted     bool                `json:"interrupted"`
 	InterruptReason string              `json:"interrupt_reason"`
 	Error           string              `json:"error"`
@@ -88,10 +92,18 @@ func clampPoll(d time.Duration) time.Duration {
 func runRemote(ctx context.Context, opts remoteOptions) error {
 	opts.poll = clampPoll(opts.poll)
 	client := &http.Client{}
+	if opts.appendPath != "" {
+		if err := remoteAppend(ctx, client, opts); err != nil {
+			return err
+		}
+	}
 	if opts.showQuery {
 		if err := remoteQuery(ctx, client, opts); err != nil {
 			return err
 		}
+	}
+	if opts.follow {
+		return followRemote(ctx, client, opts)
 	}
 	if !opts.async {
 		var res remoteResult
@@ -204,6 +216,89 @@ func runRemote(ctx context.Context, opts remoteOptions) error {
 	}
 }
 
+// remoteAppend uploads a CSV batch to POST /tables/{name}/rows.
+func remoteAppend(ctx context.Context, client *http.Client, opts remoteOptions) error {
+	f, err := os.Open(opts.appendPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	url := opts.base + "/tables/" + opts.table + "/rows"
+	req, err := http.NewRequestWithContext(ctx, "POST", url, f)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	var out struct {
+		Appended int `json:"appended"`
+		Table    struct {
+			Rows int   `json:"rows"`
+			Gen  int64 `json:"gen"`
+		} `json:"table"`
+		Error string `json:"error"`
+	}
+	code, err := doJSON(client, req, &out)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		if out.Error != "" {
+			return fmt.Errorf("append: %s (HTTP %d)", out.Error, code)
+		}
+		return fmt.Errorf("append: HTTP %d", code)
+	}
+	fmt.Printf("appended %d rows to %s (now %d rows, generation %d)\n\n",
+		out.Appended, opts.table, out.Table.Rows, out.Table.Gen)
+	return nil
+}
+
+// followRemote re-explains on the poll interval until ctx fires, printing a
+// result whenever the server computed a fresh one (cold or incrementally
+// refreshed). Identical repeats come back "cached" and are skipped, so an
+// idle table costs one cache hit per tick.
+func followRemote(ctx context.Context, client *http.Client, opts remoteOptions) error {
+	first := true
+	for {
+		var res remoteResult
+		code, err := postJSON(ctx, client, opts.base+"/explain", opts.body, &res)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // Ctrl-C ends the follow loop cleanly
+			}
+			return err
+		}
+		if code != http.StatusOK {
+			// Transient server states — an explain hitting the server's
+			// deadline (504), a full queue (429), a draining scheduler
+			// (503) — must not kill a watcher documented to run until
+			// Ctrl-C: report and retry on the next tick. Other statuses
+			// (bad request, unknown table) will never succeed; stop.
+			if code == http.StatusGatewayTimeout || code == http.StatusTooManyRequests ||
+				code == http.StatusServiceUnavailable {
+				fmt.Printf("server busy (%s); retrying in %s\n", httpErrorText(code, &res), opts.poll)
+				select {
+				case <-ctx.Done():
+					return nil
+				case <-time.After(opts.poll):
+				}
+				continue
+			}
+			return fmt.Errorf("server: %s", httpErrorText(code, &res))
+		}
+		if first || !res.Cached {
+			fmt.Printf("--- %s ---\n", time.Now().Format(time.TimeOnly))
+			printRemoteResult(&res)
+			fmt.Println()
+			first = false
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(opts.poll):
+		}
+	}
+}
+
 // remoteQuery prints the aggregate query result from the server, mirroring
 // the local -show-query plot.
 func remoteQuery(ctx context.Context, client *http.Client, opts remoteOptions) error {
@@ -234,6 +329,12 @@ func printRemoteResult(res *remoteResult) {
 	note := ""
 	if res.Cached {
 		note = "   (served from the server's result cache)"
+	} else if res.Refreshed {
+		note = "   (refreshed incrementally"
+		if res.RefreshedFrom > 0 {
+			note += fmt.Sprintf(" from generation %d", res.RefreshedFrom)
+		}
+		note += ")"
 	} else if res.ReusedPartition {
 		note = "   (reused cached partitioning)"
 	}

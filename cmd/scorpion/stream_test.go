@@ -1,0 +1,121 @@
+package main
+
+// CLI tests for the streaming flags: -append (local and remote) and
+// -follow.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeBatchCSV writes an append batch matching writeCSV's schema.
+func writeBatchCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "batch.csv")
+	content := "grp,src,v\ng2,bad,100\ng2,ok1,10\ng1,ok2,10\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunLocalAppend(t *testing.T) {
+	csv := writeCSV(t)
+	err := run(context.Background(), []string{
+		"-csv", csv,
+		"-append", writeBatchCSV(t),
+		"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+		"-outliers", "g2",
+		"-all-others",
+		"-c", "1",
+	})
+	if err != nil {
+		t.Fatalf("run with -append: %v", err)
+	}
+}
+
+func TestRunLocalAppendBadBatch(t *testing.T) {
+	csv := writeCSV(t)
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("grp,unknown\nx,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{
+		"-csv", csv,
+		"-append", bad,
+		"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+		"-outliers", "g2",
+	})
+	if err == nil {
+		t.Fatal("schema-mismatched -append batch accepted")
+	}
+}
+
+func TestRemoteAppend(t *testing.T) {
+	url := startServer(t, writeCSV(t))
+	err := run(context.Background(), []string{
+		"-server", url,
+		"-table", "default",
+		"-append", writeBatchCSV(t),
+		"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+		"-outliers", "g2",
+		"-all-others",
+		"-c", "1",
+	})
+	if err != nil {
+		t.Fatalf("remote -append: %v", err)
+	}
+}
+
+func TestRemoteFollowStopsOnCancel(t *testing.T) {
+	url := startServer(t, writeCSV(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-server", url,
+			"-follow",
+			"-poll", "100ms",
+			"-sql", "SELECT avg(v), grp FROM t GROUP BY grp",
+			"-outliers", "g2",
+			"-all-others",
+			"-c", "1",
+		})
+	}()
+	time.Sleep(400 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("-follow: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("-follow did not stop on cancel")
+	}
+}
+
+func TestStreamFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-follow", "-csv", "x.csv", "-sql", "q", "-outliers", "o"},                 // -follow needs -server
+		{"-server", "http://x", "-follow", "-async", "-sql", "q", "-outliers", "o"}, // -follow vs -async
+		{"-server", "http://x", "-append", "b.csv", "-sql", "q", "-outliers", "o"},  // remote -append needs -table
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestFollowRejectsNoCache(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-server", "http://x", "-follow", "-no-cache",
+		"-sql", "q", "-outliers", "o",
+	})
+	if err == nil {
+		t.Fatal("-follow -no-cache accepted")
+	}
+}

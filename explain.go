@@ -266,6 +266,12 @@ type Stats struct {
 	// reusing an Explainer session's cached DT partitioning (§8.3.3) — the
 	// c-sweep fast path. Always false for one-shot Explain calls.
 	ReusedPartition bool
+	// Refreshed reports that the result came from a Refresher's warm path:
+	// after an append, the previous run's candidates were re-scored exactly
+	// against the grown table (per-group aggregate states advanced
+	// incrementally from the appended tail) instead of re-running the
+	// search. Always false for one-shot Explain calls.
+	Refreshed bool
 	// Interrupted reports that the search was cut short by context
 	// cancellation or deadline; Explanations hold the best predicates
 	// found up to that point.
@@ -306,27 +312,36 @@ func Explain(req *Request) (*Result, error) {
 // Request.Workers sizes the worker pool shared by all three algorithms;
 // parallel searches return the same explanations as serial ones.
 func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
+	res, _, err := explainFull(ctx, req)
+	return res, err
+}
+
+// explainFull is ExplainContext returning, alongside the capped Result, the
+// FULL deduped exact-scored candidate list the top-k was cut from — the
+// state a Refresher snapshots so a later append can re-rank warm instead of
+// re-searching. The slice is nil when the search errored before scoring.
+func explainFull(ctx context.Context, req *Request) (*Result, []partition.Candidate, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("scorpion: %w", err)
+		return nil, nil, fmt.Errorf("scorpion: %w", err)
 	}
 	if req.Shards < 0 {
-		return nil, fmt.Errorf("scorpion: shards %d must be >= 0 (0 = auto)", req.Shards)
+		return nil, nil, fmt.Errorf("scorpion: shards %d must be >= 0 (0 = auto)", req.Shards)
 	}
 	scorer, space, qres, err := buildScorer(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	algo, err := chooseAlgorithm(req, scorer)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	searcher, coord, err := buildTopSearcher(req, scorer, space, algo)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	calls := func() int64 {
 		n := scorer.Calls()
@@ -346,9 +361,9 @@ func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
 		stopMonitor()
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	res := assemble(req, scorer, outcome.Candidates, qres)
+	res, scored := assemble(req, scorer, outcome.Candidates, qres)
 	res.Stats.Algorithm = algo
 	res.Stats.Duration = time.Since(start)
 	res.Stats.ScorerCalls = calls()
@@ -363,9 +378,9 @@ func ExplainContext(ctx context.Context, req *Request) (*Result, error) {
 		}
 		res.Stats.Interrupted = true
 		res.Stats.InterruptReason = cause.Error()
-		return res, fmt.Errorf("scorpion: search interrupted: %w", cause)
+		return res, scored, fmt.Errorf("scorpion: search interrupted: %w", cause)
 	}
-	return res, nil
+	return res, scored, nil
 }
 
 // watchProgress starts the OnProgress monitor goroutine: at every
@@ -434,6 +449,18 @@ func watchProgress(req *Request, calls func() int64, board *partition.Board, sta
 		close(done)
 		<-joined
 	}
+}
+
+// directionFor resolves the error vector for an outlier key: the per-key
+// Directions override, else the request-wide Direction, else TooHigh.
+func (r *Request) directionFor(key string) Direction {
+	if d, ok := r.Directions[key]; ok {
+		return d
+	}
+	if r.Direction == 0 {
+		return TooHigh
+	}
+	return r.Direction
 }
 
 // effectiveWorkers resolves the Workers knob, honoring the deprecated
@@ -584,21 +611,13 @@ func buildScorer(req *Request) (*influence.Scorer, *predicate.Space, *query.Resu
 		Perturb: req.Perturb,
 	}
 
-	defaultDir := req.Direction
-	if defaultDir == 0 {
-		defaultDir = TooHigh
-	}
 	flagged := make(map[string]bool, len(req.Outliers))
 	for _, key := range req.Outliers {
 		row, ok := qres.Lookup(key)
 		if !ok {
 			return nil, nil, nil, fmt.Errorf("scorpion: no query result group %q (have %v)", key, qres.Keys())
 		}
-		dir := defaultDir
-		if d, ok := req.Directions[key]; ok {
-			dir = d
-		}
-		task.Outliers = append(task.Outliers, influence.Group{Key: key, Rows: row.Group, Direction: dir})
+		task.Outliers = append(task.Outliers, influence.Group{Key: key, Rows: row.Group, Direction: req.directionFor(key)})
 		flagged[key] = true
 	}
 	holdKeys := req.HoldOuts
@@ -764,9 +783,11 @@ func (s *dtSearcher) Search(pool *partition.Pool) (*partition.Outcome, error) {
 	}, nil
 }
 
-// assemble converts candidates into ranked explanations.
-func assemble(req *Request, scorer *influence.Scorer, cands []partition.Candidate, qres *query.Result) *Result {
-	return present(req, scorer, rescoreExact(scorer, cands), qres)
+// assemble converts candidates into ranked explanations, also returning the
+// full exact-scored list the top-k Result was cut from.
+func assemble(req *Request, scorer *influence.Scorer, cands []partition.Candidate, qres *query.Result) (*Result, []partition.Candidate) {
+	scored := rescoreExact(scorer, cands)
+	return present(req, scorer, scored, qres), scored
 }
 
 // rescoreExact dedupes candidates, re-scores them exactly, and sorts

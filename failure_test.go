@@ -7,7 +7,10 @@ package scorpion
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/catalog"
 )
 
 func TestExplainMalformedCSVKinds(t *testing.T) {
@@ -194,6 +197,131 @@ func TestExplainInfValues(t *testing.T) {
 	for _, e := range res.Explanations {
 		if math.IsNaN(e.Influence) {
 			t.Fatalf("NaN influence with Inf input")
+		}
+	}
+}
+
+// --- append-path failure injection --------------------------------------
+// The streaming surface must fail as cleanly as the static one: malformed
+// batches, NaN/Inf values arriving mid-stream, appends to unknown tables,
+// and appends racing unloads produce errors (or finite results), never
+// panics. The HTTP layer's 4xx mapping for the same cases lives in
+// internal/server/append_test.go.
+
+func TestAppendNaNInfRowsExplainStaysFinite(t *testing.T) {
+	schema, _ := NewSchema(
+		Column{Name: "g", Kind: Discrete},
+		Column{Name: "a", Kind: Continuous},
+		Column{Name: "v", Kind: Continuous},
+	)
+	b := NewBuilder(schema)
+	for i := 0; i < 40; i++ {
+		v := 10.0
+		if i >= 20 && i%3 == 0 {
+			v = 100
+		}
+		b.MustAppend(Row{S([]string{"hold", "out"}[i/20]), F(float64(i % 10)), F(v)})
+	}
+	base := b.Build()
+	// The appended batch smuggles NaN and ±Inf aggregate values in.
+	app := AppenderFor(base)
+	tbl, err := app.Append([]Row{
+		{S("out"), F(3), F(math.NaN())},
+		{S("out"), F(4), F(math.Inf(1))},
+		{S("hold"), F(5), F(math.Inf(-1))},
+	})
+	if err != nil {
+		t.Fatalf("NaN/Inf rows are legal values; append failed: %v", err)
+	}
+	res, err := Explain(&Request{
+		Table:            tbl,
+		SQL:              "SELECT avg(v), g FROM t GROUP BY g",
+		Outliers:         []string{"out"},
+		AllOthersHoldOut: true,
+		Direction:        TooHigh,
+	})
+	if err != nil {
+		t.Fatalf("explain after NaN/Inf append: %v", err)
+	}
+	for _, e := range res.Explanations {
+		if math.IsNaN(e.Influence) || math.IsInf(e.Influence, 0) {
+			t.Fatalf("explanation %q has non-finite influence %v", e.Where, e.Influence)
+		}
+	}
+}
+
+func TestAppendSchemaMismatchedBatch(t *testing.T) {
+	schema, _ := NewSchema(
+		Column{Name: "g", Kind: Discrete},
+		Column{Name: "v", Kind: Continuous},
+	)
+	b := NewBuilder(schema)
+	b.MustAppend(Row{S("a"), F(1)})
+	app := AppenderFor(b.Build())
+	// Wrong arity, wrong kind, and a CSV batch naming an unknown column:
+	// all clean errors, nothing partially applied.
+	if _, err := app.Append([]Row{{S("a")}}); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := app.Append([]Row{{F(1), F(2)}}); err == nil {
+		t.Error("kind-swapped row accepted")
+	}
+	if _, err := ParseCSVRows(strings.NewReader("g,w\na,1\n"), schema, CSVOptions{}); err == nil {
+		t.Error("unknown-column batch accepted")
+	}
+	if got := app.NumRows(); got != 1 {
+		t.Fatalf("failed batches mutated the table: %d rows", got)
+	}
+}
+
+func TestAppendUnknownTable(t *testing.T) {
+	cat := catalog.New()
+	if _, err := cat.Append("ghost", []Row{{S("a")}}); err == nil {
+		t.Fatal("append to unknown table succeeded")
+	}
+	if _, _, err := cat.AppendCSV("ghost", strings.NewReader("g\na\n")); err == nil {
+		t.Fatal("csv append to unknown table succeeded")
+	}
+}
+
+func TestAppendRacingUnload(t *testing.T) {
+	// Appends racing Remove/re-Add on the same catalog name must never
+	// panic; each append either lands on the live lineage or errors.
+	cat := catalog.New()
+	load := func() {
+		schema, _ := NewSchema(
+			Column{Name: "g", Kind: Discrete},
+			Column{Name: "v", Kind: Continuous},
+		)
+		b := NewBuilder(schema)
+		b.MustAppend(Row{S("a"), F(1)})
+		if _, err := cat.Add("t", b.Build(), "test"); err != nil {
+			t.Error(err)
+		}
+	}
+	load()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 60; j++ {
+				_, _ = cat.Append("t", []Row{{S("b"), F(2)}})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 30; j++ {
+			cat.Remove("t")
+			load()
+		}
+	}()
+	wg.Wait()
+	if e, ok := cat.Get("t"); ok {
+		if _, err := cat.Append("t", []Row{{S("c"), F(3)}}); err != nil {
+			t.Fatalf("surviving entry %q not appendable: %v", e.Name, err)
 		}
 	}
 }

@@ -6,10 +6,15 @@
 //
 // Tables themselves are immutable, so a resolved *Table stays valid even if
 // its catalog entry is replaced or removed afterwards; the catalog only
-// guards the name→table map.
+// guards the name→table map. Growth happens by SUCCESSION, not mutation:
+// Append publishes a new immutable snapshot (sharing the predecessor's
+// backing arrays) as a new generation on the same lineage, so consumers can
+// distinguish "same table, more rows" (refresh incrementally) from "a
+// different table under the same name" (start cold).
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -41,6 +46,20 @@ type Entry struct {
 	// (Name, Gen); a replace or an unload-then-reload can therefore never
 	// serve results computed against the old data.
 	Gen int64
+	// Lineage identifies the append-only snapshot chain this entry belongs
+	// to: assigned when a table is loaded (Add/LoadCSV) and PRESERVED by
+	// Append, so two entries with equal Lineage are snapshots of the same
+	// growing table — the later one's rows are a superset, with the new
+	// rows forming a contiguous tail. A replace or reload starts a fresh
+	// lineage. Warm-start caches key incremental state by (Name, Lineage)
+	// and treat a successor generation as refreshable rather than stale.
+	Lineage int64
+	// PrevGen is the generation this entry succeeded via Append (0 when
+	// the entry is a fresh load or replace).
+	PrevGen int64
+	// PrevRows is the predecessor's row count when PrevGen is set: the
+	// appended tail is rows [PrevRows, Rows()).
+	PrevRows int
 }
 
 // Rows returns the entry's row count.
@@ -49,6 +68,10 @@ func (e *Entry) Rows() int { return e.Table.NumRows() }
 // Columns returns the entry's column count.
 func (e *Entry) Columns() int { return e.Table.Schema().NumColumns() }
 
+// ErrNotFound marks operations against a table name with no live entry;
+// serving layers map it to 404. Errors carrying it wrap the name.
+var ErrNotFound = errors.New("catalog: table not found")
+
 // validName constrains table names to something safe in URLs and flags.
 var validName = regexp.MustCompile(`^[A-Za-z0-9_][A-Za-z0-9_.-]*$`)
 
@@ -56,16 +79,35 @@ var validName = regexp.MustCompile(`^[A-Za-z0-9_][A-Za-z0-9_.-]*$`)
 type Catalog struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
-	gen     int64 // generation counter; incremented on every Add
+	// appenders holds one relation.Appender per live entry: the single
+	// writer of that entry's snapshot chain. Replacing or removing the
+	// entry swaps/drops the appender, which is how an in-flight Append
+	// detects it lost its table.
+	appenders map[string]*tableAppender
+	gen       int64 // generation counter; incremented on every Add/Append
+}
+
+// tableAppender pairs an entry's appender with its lineage id. Its mutex
+// serializes appends to one table without holding the catalog lock across
+// the (possibly large) row copy.
+type tableAppender struct {
+	mu      sync.Mutex
+	app     *relation.Appender
+	lineage int64
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
-	return &Catalog{entries: make(map[string]*Entry)}
+	return &Catalog{
+		entries:   make(map[string]*Entry),
+		appenders: make(map[string]*tableAppender),
+	}
 }
 
 // Add registers table under name with the given source tag, replacing any
 // existing entry of that name. It rejects invalid names and nil tables.
+// The new entry starts a fresh lineage (its snapshot chain is unrelated to
+// any prior table of the same name).
 func (c *Catalog) Add(name string, table *relation.Table, source string) (*Entry, error) {
 	if !validName.MatchString(name) {
 		return nil, fmt.Errorf("catalog: invalid table name %q", name)
@@ -75,10 +117,98 @@ func (c *Catalog) Add(name string, table *relation.Table, source string) (*Entry
 	}
 	c.mu.Lock()
 	c.gen++
-	e := &Entry{Name: name, Table: table, Source: source, LoadedAt: time.Now(), Gen: c.gen}
+	e := &Entry{Name: name, Table: table, Source: source, LoadedAt: time.Now(), Gen: c.gen, Lineage: c.gen}
 	c.entries[name] = e
+	c.appenders[name] = &tableAppender{app: relation.AppenderFor(table), lineage: e.Lineage}
 	c.mu.Unlock()
 	return e, nil
+}
+
+// Append extends the named table with rows, publishing a SUCCESSOR entry:
+// a new generation on the SAME lineage whose table shares the predecessor's
+// backing arrays, with the appended rows as a contiguous tail. Unlike Add,
+// an append never invalidates warm state computed against the predecessor —
+// consumers recognize the successor by its unchanged Lineage and refresh
+// incrementally from the tail window (Table.Tail(PrevRows)).
+//
+// Appends to one table are serialized; an append that races a Remove or a
+// replacing Add fails cleanly (the rows are not resurrected onto the dead
+// table). An empty batch is a no-op returning the current entry.
+func (c *Catalog) Append(name string, rows []relation.Row) (*Entry, error) {
+	c.mu.RLock()
+	e, ok := c.entries[name]
+	ta := c.appenders[name]
+	c.mu.RUnlock()
+	if !ok || ta == nil {
+		return nil, fmt.Errorf("%w: no table %q to append to", ErrNotFound, name)
+	}
+	if len(rows) == 0 {
+		return e, nil
+	}
+	return c.appendVia(name, ta, rows)
+}
+
+// appendVia commits a batch onto a SPECIFIC appender (the one the rows
+// were validated/parsed against). The commit step re-checks that ta is
+// still the live appender for name, so rows prepared against one lineage
+// can never be committed onto a replacement — even a same-shape one.
+func (c *Catalog) appendVia(name string, ta *tableAppender, rows []relation.Row) (*Entry, error) {
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	table, err := ta.app.Append(rows)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: appending to %q: %w", name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.entries[name]
+	if !ok || c.appenders[name] != ta {
+		// The table was removed or replaced while the batch was being
+		// written; the orphaned appender's arrays are garbage now.
+		return nil, fmt.Errorf("%w: table %q was replaced or removed during append", ErrNotFound, name)
+	}
+	c.gen++
+	succ := &Entry{
+		Name:     name,
+		Table:    table,
+		Source:   prev.Source,
+		LoadedAt: prev.LoadedAt,
+		Gen:      c.gen,
+		Lineage:  ta.lineage,
+		PrevGen:  prev.Gen,
+		PrevRows: prev.Table.NumRows(),
+	}
+	c.entries[name] = succ
+	return succ, nil
+}
+
+// AppendCSV parses a CSV batch (header row naming the table's columns, any
+// order) against the named table's schema and appends it. It returns the
+// successor entry and the number of rows appended.
+func (c *Catalog) AppendCSV(name string, r io.Reader) (*Entry, int, error) {
+	// Capture the schema TOGETHER with its appender: the batch is parsed
+	// against this exact lineage, and appendVia refuses to commit it onto
+	// any appender but ta — a concurrent replace with a same-shape schema
+	// cannot silently receive rows mapped by the old header order.
+	c.mu.RLock()
+	e, ok := c.entries[name]
+	ta := c.appenders[name]
+	c.mu.RUnlock()
+	if !ok || ta == nil {
+		return nil, 0, fmt.Errorf("%w: no table %q to append to", ErrNotFound, name)
+	}
+	rows, err := relation.ParseCSVRows(r, e.Table.Schema(), relation.CSVOptions{})
+	if err != nil {
+		return nil, 0, fmt.Errorf("catalog: appending to %q: %w", name, err)
+	}
+	if len(rows) == 0 {
+		return e, 0, nil
+	}
+	succ, err := c.appendVia(name, ta, rows)
+	if err != nil {
+		return nil, 0, err
+	}
+	return succ, len(rows), nil
 }
 
 // LoadCSV reads a CSV stream and registers it under name.
@@ -198,6 +328,7 @@ func (c *Catalog) Remove(name string) bool {
 		return false
 	}
 	delete(c.entries, name)
+	delete(c.appenders, name)
 	return true
 }
 

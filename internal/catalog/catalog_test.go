@@ -189,3 +189,147 @@ func TestGenerations(t *testing.T) {
 		t.Fatalf("gen %d reused across names (prev %d)", e4.Gen, e3.Gen)
 	}
 }
+
+func TestAppendSuccessorGeneration(t *testing.T) {
+	c := New()
+	e1, err := c.LoadCSV("t", strings.NewReader(sampleCSV), relation.CSVOptions{}, "upload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, n, err := c.AppendCSV("t", strings.NewReader("g,v\nc,4\nb,5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("appended %d rows, want 2", n)
+	}
+	if e2.Gen <= e1.Gen {
+		t.Fatalf("successor gen %d not after %d", e2.Gen, e1.Gen)
+	}
+	if e2.Lineage != e1.Lineage {
+		t.Fatalf("append changed lineage: %d -> %d", e1.Lineage, e2.Lineage)
+	}
+	if e2.PrevGen != e1.Gen || e2.PrevRows != e1.Rows() {
+		t.Fatalf("succession metadata = prevGen %d prevRows %d, want %d/%d",
+			e2.PrevGen, e2.PrevRows, e1.Gen, e1.Rows())
+	}
+	if e2.Rows() != e1.Rows()+2 {
+		t.Fatalf("rows = %d", e2.Rows())
+	}
+	// The predecessor snapshot is untouched.
+	if e1.Rows() != 3 {
+		t.Fatalf("predecessor grew to %d rows", e1.Rows())
+	}
+	// The appended tail is visible as a window of the successor.
+	tail := e2.Table.Tail(e2.PrevRows)
+	if tail.Len() != 2 || tail.Floats(e2.Table.Schema().MustIndex("v"))[0] != 4 {
+		t.Fatalf("tail window wrong: %v", tail)
+	}
+	// A replacing Add starts a fresh lineage with no succession metadata.
+	e3, err := c.LoadCSV("t", strings.NewReader(sampleCSV), relation.CSVOptions{}, "upload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Lineage == e2.Lineage || e3.PrevGen != 0 {
+		t.Fatalf("replace kept lineage/succession: %+v", e3)
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	c := New()
+	if _, err := c.Append("nope", []relation.Row{{relation.S("a")}}); err == nil {
+		t.Fatal("append to unknown table succeeded")
+	}
+	if _, _, err := c.AppendCSV("nope", strings.NewReader("g,v\na,1\n")); err == nil {
+		t.Fatal("csv append to unknown table succeeded")
+	}
+	if _, err := c.LoadCSV("t", strings.NewReader(sampleCSV), relation.CSVOptions{}, "upload"); err != nil {
+		t.Fatal(err)
+	}
+	// Schema-mismatched batches: wrong column set, wrong kind.
+	for name, body := range map[string]string{
+		"unknown column": "g,w\na,1\n",
+		"bad kind":       "g,v\na,notanumber\n",
+		"missing column": "g\na\n",
+	} {
+		if _, _, err := c.AppendCSV("t", strings.NewReader(body)); err == nil {
+			t.Errorf("%s: append succeeded", name)
+		}
+	}
+	// Failed appends leave the entry untouched.
+	e, _ := c.Get("t")
+	if e.Rows() != 3 || e.PrevGen != 0 {
+		t.Fatalf("failed append mutated entry: %+v", e)
+	}
+	// Empty batch: no-op, same entry.
+	e2, err := c.Append("t", nil)
+	if err != nil || e2 != e {
+		t.Fatalf("empty append: %v %v", e2, err)
+	}
+}
+
+func TestAppendRacingRemoveAndReplace(t *testing.T) {
+	// Concurrent appends, removes and replacing loads must never panic or
+	// resurrect rows onto a dead table; every append either lands on the
+	// live lineage or fails cleanly.
+	c := New()
+	if _, err := c.LoadCSV("t", strings.NewReader(sampleCSV), relation.CSVOptions{}, "upload"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_, _, _ = c.AppendCSV("t", strings.NewReader("g,v\nz,9\n"))
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				c.Remove("t")
+				_, _ = c.LoadCSV("t", strings.NewReader(sampleCSV), relation.CSVOptions{}, "upload")
+			}
+		}()
+	}
+	wg.Wait()
+	// Whatever survived must be internally consistent.
+	if e, ok := c.Get("t"); ok {
+		if e.Rows() < 3 {
+			t.Fatalf("final table has %d rows", e.Rows())
+		}
+		if _, err := c.Append("t", nil); err != nil {
+			t.Fatalf("final entry not appendable: %v", err)
+		}
+	}
+}
+
+func TestAppendSerializesBatches(t *testing.T) {
+	c := New()
+	if _, err := c.LoadCSV("t", strings.NewReader("g,v\na,0\n"), relation.CSVOptions{}, "upload"); err != nil {
+		t.Fatal(err)
+	}
+	const writers, batches = 4, 20
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < batches; j++ {
+				if _, err := c.Append("t", []relation.Row{{relation.S("a"), relation.F(1)}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	e, _ := c.Get("t")
+	if got := e.Rows(); got != 1+writers*batches {
+		t.Fatalf("rows = %d, want %d", got, 1+writers*batches)
+	}
+}

@@ -240,6 +240,47 @@ func NewScorer(task *Task) (*Scorer, error) {
 	return s, nil
 }
 
+// NewScorerSeeded builds a scorer whose per-group aggregate states are
+// PROVIDED rather than computed — the streaming warm-start path (§5.1 meets
+// live data): a stream tracker that maintained state(g) incrementally
+// across append batches hands the states over, and the scorer skips the
+// O(|D|) per-group projection pass entirely. Original aggregate values are
+// recovered from the states.
+//
+// The task's aggregate must be incrementally removable, and outStates /
+// holdStates must align 1:1 with task.Outliers / task.HoldOuts. States are
+// cloned, so the caller may keep advancing its own copies afterwards.
+func NewScorerSeeded(task *Task, outStates, holdStates []aggregate.State) (*Scorer, error) {
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+	rem, ok := task.Agg.(aggregate.Removable)
+	if !ok {
+		return nil, fmt.Errorf("influence: seeded scorer requires an incrementally removable aggregate; %q is not", task.Agg.Name())
+	}
+	if len(outStates) != len(task.Outliers) || len(holdStates) != len(task.HoldOuts) {
+		return nil, fmt.Errorf("influence: seeded states mismatch groups: %d/%d outliers, %d/%d hold-outs",
+			len(outStates), len(task.Outliers), len(holdStates), len(task.HoldOuts))
+	}
+	s := &Scorer{task: task, tab: task.Table.Data(), rem: rem}
+	if task.AggCol >= 0 {
+		s.aggVals = s.tab.Floats(task.AggCol)
+	}
+	s.cache.init()
+	adopt := func(states []aggregate.State) ([]float64, []aggregate.State) {
+		orig := make([]float64, len(states))
+		own := make([]aggregate.State, len(states))
+		for i, st := range states {
+			own[i] = st.Clone()
+			orig[i] = rem.Recover(own[i])
+		}
+		return orig, own
+	}
+	s.outOrig, s.outState = adopt(outStates)
+	s.holdOrig, s.holdState = adopt(holdStates)
+	return s, nil
+}
+
 // Task returns the scorer's task.
 func (s *Scorer) Task() *Task { return s.task }
 

@@ -663,3 +663,66 @@ func TestScorerResetCacheConcurrent(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+func TestSeededScorerMatchesPlainScorer(t *testing.T) {
+	task := paperTask(t)
+	plain, err := NewScorer(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem := task.Agg.(aggregate.Removable)
+	// Build the states externally — as a stream tracker maintaining them
+	// across append batches would — and seed a second scorer with them.
+	states := func(groups []Group) []aggregate.State {
+		out := make([]aggregate.State, len(groups))
+		for i, g := range groups {
+			var vals []float64
+			g.Rows.ForEach(func(r int) { vals = append(vals, task.Value(r)) })
+			out[i] = rem.State(vals)
+		}
+		return out
+	}
+	outStates, holdStates := states(task.Outliers), states(task.HoldOuts)
+	seeded, err := NewScorerSeeded(task, outStates, holdStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seeded.Incremental() {
+		t.Fatal("seeded scorer must run the incremental path")
+	}
+	for i := range task.Outliers {
+		if !almostEqual(seeded.OutlierResult(i), plain.OutlierResult(i)) {
+			t.Fatalf("outlier %d orig %v != %v", i, seeded.OutlierResult(i), plain.OutlierResult(i))
+		}
+	}
+	p := voltagePredicate(sensorsTable(t))
+	if a, b := seeded.Influence(p), plain.Influence(p); !almostEqual(a, b) {
+		t.Fatalf("seeded influence %v != plain %v", a, b)
+	}
+	if a, b := seeded.TupleOutlierInfluence(0, 5), plain.TupleOutlierInfluence(0, 5); !almostEqual(a, b) {
+		t.Fatalf("seeded tuple influence %v != plain %v", a, b)
+	}
+	// Seeding clones: mutating the caller's state afterwards must not
+	// perturb the scorer.
+	outStates[0][0] += 1000
+	if a, b := seeded.OutlierResult(0), plain.OutlierResult(0); !almostEqual(a, b) {
+		t.Fatalf("seeded scorer aliased caller state: %v != %v", a, b)
+	}
+}
+
+func TestSeededScorerErrors(t *testing.T) {
+	task := paperTask(t)
+	rem := task.Agg.(aggregate.Removable)
+	good := make([]aggregate.State, len(task.Outliers))
+	for i := range good {
+		good[i] = rem.State([]float64{1})
+	}
+	if _, err := NewScorerSeeded(task, good[:1], nil); err == nil {
+		t.Fatal("state-count mismatch accepted")
+	}
+	black := *task
+	black.Agg = aggregate.Median{}
+	if _, err := NewScorerSeeded(&black, good, make([]aggregate.State, len(task.HoldOuts))); err == nil {
+		t.Fatal("black-box aggregate accepted for seeding")
+	}
+}

@@ -224,6 +224,22 @@ func (q *AggregateQuery) Run() (*Result, error) {
 	return res, nil
 }
 
+// NewResult assembles a Result from externally maintained rows — the
+// streaming tracker's path, where per-group provenance and aggregate values
+// are advanced incrementally per append batch instead of recomputed by Run.
+// Rows are sorted into Run's canonical key order and indexed; the slice is
+// taken over (not copied).
+func NewResult(q *AggregateQuery, rows []ResultRow) *Result {
+	res := &Result{Query: q, Rows: rows, byKey: make(map[string]int, len(rows))}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		return lessKeyValues(res.Rows[i].KeyValues, res.Rows[j].KeyValues)
+	})
+	for i, row := range res.Rows {
+		res.byKey[row.Key] = i
+	}
+	return res
+}
+
 // lessKeyValues orders key tuples component-wise: continuous numerically,
 // discrete by numeric value when both parse as numbers, else lexically.
 func lessKeyValues(a, b []relation.Value) bool {

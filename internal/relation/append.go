@@ -1,0 +1,229 @@
+package relation
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// ErrBuilt is returned by Builder.Append once Build has frozen the builder.
+// A built table cannot grow through its builder; extend it through an
+// Appender instead.
+var ErrBuilt = errors.New("relation: builder already built; extend the table through an Appender")
+
+// Appender grows an append-only table as a chain of immutable snapshots.
+//
+// The appender owns growable column arrays; every Append publishes a new
+// *Table whose column slices are capacity-clipped prefixes of those arrays
+// (arr[:n:n]), so successive snapshots SHARE one backing array — appending
+// a batch costs O(batch), not O(table) — while remaining immutable: later
+// writes land at indices at or beyond every published snapshot's length,
+// which no snapshot can observe.
+//
+// Dictionaries are copy-on-write: a batch that introduces a new discrete
+// value clones that column's dict before inserting, so previously published
+// snapshots keep reading their own frozen dictionaries. Codes are assigned
+// in order of first appearance either way, which keeps every snapshot's
+// codes meaning the same values.
+//
+// An Appender serializes its own Append calls; published snapshots may be
+// read concurrently with further appends. A table being extended must not
+// be extended through a second Appender at the same time — divergent
+// appends would race on the shared arrays (the catalog keeps one appender
+// per table entry for exactly this reason).
+type Appender struct {
+	mu     sync.Mutex
+	schema *Schema
+	n      int
+	floats [][]float64
+	codes  [][]int32
+	dicts  []*Dict
+	snap   *Table
+}
+
+// NewAppender returns an appender over an empty table of the given schema.
+func NewAppender(schema *Schema) *Appender {
+	return AppenderFor(NewBuilder(schema).Build())
+}
+
+// AppenderFor returns an appender that extends t. The first growing append
+// re-allocates the column arrays once (Go's append copies when capacity is
+// exhausted, leaving t's own arrays untouched); from then on snapshots
+// share backing storage with each other.
+func AppenderFor(t *Table) *Appender {
+	a := &Appender{
+		schema: t.schema,
+		n:      t.n,
+		floats: make([][]float64, len(t.floats)),
+		codes:  make([][]int32, len(t.codes)),
+		dicts:  make([]*Dict, len(t.dicts)),
+		snap:   t,
+	}
+	copy(a.floats, t.floats)
+	copy(a.codes, t.codes)
+	copy(a.dicts, t.dicts)
+	return a
+}
+
+// Schema returns the appended table's schema.
+func (a *Appender) Schema() *Schema { return a.schema }
+
+// NumRows reports the current row count (that of the latest snapshot).
+func (a *Appender) NumRows() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// Snapshot returns the latest published table.
+func (a *Appender) Snapshot() *Table {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.snap
+}
+
+// Append validates the whole batch against the schema, appends it, and
+// publishes (and returns) the successor snapshot. The batch is atomic: on
+// any validation error nothing is appended and the previous snapshot stays
+// current. An empty batch returns the current snapshot unchanged.
+func (a *Appender) Append(rows []Row) (*Table, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, row := range rows {
+		if err := row.checkAgainst(a.schema); err != nil {
+			return nil, fmt.Errorf("relation: append row %d: %w", i, err)
+		}
+	}
+	if len(rows) == 0 {
+		return a.snap, nil
+	}
+	// Copy-on-write dictionaries: clone a column's dict at most once per
+	// batch, only when the batch introduces a value it has not seen.
+	for c := 0; c < a.schema.NumColumns(); c++ {
+		if a.schema.Column(c).Kind != Discrete {
+			continue
+		}
+		cloned := false
+		for _, row := range rows {
+			if _, ok := a.dicts[c].Lookup(row[c].s); !ok {
+				if !cloned {
+					a.dicts[c] = a.dicts[c].Clone()
+					cloned = true
+				}
+				a.dicts[c].Code(row[c].s)
+			}
+		}
+	}
+	for _, row := range rows {
+		for c, v := range row {
+			if v.kind == Continuous {
+				a.floats[c] = append(a.floats[c], v.f)
+			} else {
+				a.codes[c] = append(a.codes[c], a.dicts[c].mustCode(v.s))
+			}
+		}
+	}
+	a.n += len(rows)
+	a.snap = a.publish()
+	return a.snap, nil
+}
+
+// publish builds the immutable snapshot of the first a.n rows: every column
+// slice is capacity-clipped so the snapshot can never see rows appended
+// after it. Callers hold a.mu.
+func (a *Appender) publish() *Table {
+	floats := make([][]float64, len(a.floats))
+	for i, f := range a.floats {
+		if f != nil {
+			floats[i] = f[:a.n:a.n]
+		}
+	}
+	codes := make([][]int32, len(a.codes))
+	for i, c := range a.codes {
+		if c != nil {
+			codes[i] = c[:a.n:a.n]
+		}
+	}
+	dicts := make([]*Dict, len(a.dicts))
+	copy(dicts, a.dicts)
+	return &Table{schema: a.schema, n: a.n, floats: floats, codes: codes, dicts: dicts}
+}
+
+// mustCode returns the code of a value known to be present (the append
+// prepass inserted every new value before the write pass runs).
+func (d *Dict) mustCode(v string) int32 {
+	c, ok := d.byVal[v]
+	if !ok {
+		panic(fmt.Sprintf("relation: value %q missing from pre-populated dict", v))
+	}
+	return c
+}
+
+// Tail returns the zero-copy view of the rows appended since the table had
+// `from` rows — the window [from, NumRows()). It panics when from is
+// outside [0, NumRows()].
+func (t *Table) Tail(from int) *View { return t.Window(from, t.n) }
+
+// ParseCSVRows decodes a CSV stream with a header row into rows matching an
+// EXISTING schema — the append-batch codec. The header must name exactly
+// the schema's columns (any order); values are parsed by the schema's
+// column kinds, so a non-numeric value in a continuous column is an error
+// rather than a silent kind change. An empty body (header only) yields no
+// rows.
+func ParseCSVRows(r io.Reader, schema *Schema, opts CSVOptions) ([]Row, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = false
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: csv has no header row")
+	}
+	header := records[0]
+	if len(header) != schema.NumColumns() {
+		return nil, fmt.Errorf("relation: csv header has %d columns, schema has %d",
+			len(header), schema.NumColumns())
+	}
+	// cols[i] is the schema position of CSV field i.
+	cols := make([]int, len(header))
+	seen := make(map[int]bool, len(header))
+	for i, name := range header {
+		c, ok := schema.Index(name)
+		if !ok {
+			return nil, fmt.Errorf("relation: csv column %q is not in the schema (%s)", name, schema)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("relation: csv header repeats column %q", name)
+		}
+		seen[c] = true
+		cols[i] = c
+	}
+	rows := make([]Row, 0, len(records)-1)
+	for ln, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation: csv row %d has %d fields, want %d", ln+2, len(rec), len(header))
+		}
+		row := make(Row, schema.NumColumns())
+		for i, field := range rec {
+			c := cols[i]
+			if schema.Column(c).Kind == Continuous {
+				v, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: csv row %d column %q: %v", ln+2, header[i], err)
+				}
+				row[c] = F(v)
+			} else {
+				row[c] = S(field)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -19,6 +19,7 @@ type Table struct {
 type Builder struct {
 	schema *Schema
 	n      int
+	built  *Table // the frozen table once Build has run
 	floats [][]float64
 	codes  [][]int32
 	dicts  []*Dict
@@ -40,8 +41,12 @@ func NewBuilder(schema *Schema) *Builder {
 	return b
 }
 
-// Append adds one row, validating arity and per-column kinds.
+// Append adds one row, validating arity and per-column kinds. After Build
+// it returns ErrBuilt (the builder's storage has been handed to the table).
 func (b *Builder) Append(row Row) error {
+	if b.built != nil {
+		return ErrBuilt
+	}
 	if err := row.checkAgainst(b.schema); err != nil {
 		return err
 	}
@@ -67,9 +72,14 @@ func (b *Builder) MustAppend(row Row) {
 // NumRows reports how many rows have been appended so far.
 func (b *Builder) NumRows() int { return b.n }
 
-// Build freezes the builder into a Table. The builder must not be used
-// afterwards.
+// Build freezes the builder into a Table. Further Append calls return
+// ErrBuilt; a repeated Build returns the SAME frozen table (the builder's
+// storage was handed to it, so rebuilding from the nilled slices would
+// yield a corrupt table reporting rows it cannot read).
 func (b *Builder) Build() *Table {
+	if b.built != nil {
+		return b.built
+	}
 	t := &Table{
 		schema: b.schema,
 		n:      b.n,
@@ -78,6 +88,7 @@ func (b *Builder) Build() *Table {
 		dicts:  b.dicts,
 	}
 	b.floats, b.codes, b.dicts = nil, nil, nil
+	b.built = t
 	return t
 }
 

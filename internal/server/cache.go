@@ -49,10 +49,12 @@ func (s *Server) ConfigureCache(entries int) {
 	if entries < 0 {
 		s.cache = nil
 		s.sessions = nil
+		s.streams = nil
 		return
 	}
 	s.cache = cache.New(entries) // New maps 0 to cache.DefaultCapacity
 	s.sessions = cache.New(defaultSessionEntries)
+	s.streams = cache.New(defaultStreamEntries)
 }
 
 // --- request fingerprints ----------------------------------------------
@@ -80,14 +82,16 @@ type fingerprint struct {
 	Shards int `json:"shards,omitempty"`
 }
 
-// explainKeys derives the result-cache key and the (c-agnostic) session
-// key for a compiled request — only the compiled scorpion.Request feeds
-// the fingerprint, never the raw HTTP body. The session key is empty when
-// session reuse cannot apply (explicitly forced NAIVE or MC searches).
-// Lambda and C are the RESOLVED values, so an explicit default, an unset
-// knob — and, after the explicit-zero fix, nothing else — map to the same
-// entry.
-func explainKeys(entry *catalog.Entry, sreq *scorpion.Request) (resultKey, sessionKey string) {
+// explainKeys derives the result-cache key, the (c-agnostic) Explainer
+// session key, and the (generation-agnostic) stream-session key for a
+// compiled request — only the compiled scorpion.Request feeds the
+// fingerprint, never the raw HTTP body. The session key is empty when
+// session reuse cannot apply (explicitly forced NAIVE or MC searches); the
+// stream key is set exactly when the session key is NOT, so the two reuse
+// units never fight over a request. Lambda and C are the RESOLVED values,
+// so an explicit default, an unset knob — and, after the explicit-zero fix,
+// nothing else — map to the same entry.
+func explainKeys(entry *catalog.Entry, sreq *scorpion.Request) (resultKey, sessionKey, streamKey string) {
 	dir := "high"
 	if sreq.Direction == scorpion.TooLow {
 		dir = "low"
@@ -118,8 +122,14 @@ func explainKeys(entry *catalog.Entry, sreq *scorpion.Request) (resultKey, sessi
 	if sreq.ResolvedShards() <= 1 && (sreq.Algorithm == scorpion.Auto || sreq.Algorithm == scorpion.DT) {
 		fp.C = nil
 		sessionKey = keyFor(entry, &fp)
+	} else {
+		// Everything the Explainer sessions do not claim (forced NAIVE/MC,
+		// sharded runs) gets a stream session instead: keyed by LINEAGE
+		// rather than generation, so an append's successor generation lands
+		// on the same session and warm-starts from its state.
+		streamKey = streamKeyFor(entry, &fp)
 	}
-	return resultKey, sessionKey
+	return resultKey, sessionKey, streamKey
 }
 
 // keyFor renders "<table>@<generation>|<hash of the canonical request>".
@@ -134,6 +144,20 @@ func keyFor(entry *catalog.Entry, fp *fingerprint) string {
 	}
 	sum := sha256.Sum256(data)
 	return fmt.Sprintf("%s@%d|%x", entry.Name, entry.Gen, sum[:12])
+}
+
+// streamKeyFor renders "<table>#<lineage>|<hash>": generation-free, so a
+// successor generation (an append) maps to the SAME stream session, while a
+// replace or reload (a new lineage) maps to a fresh one. The "#" separator
+// keeps the "<table>@" invalidation sweep from touching stream sessions —
+// appends must warm-start, not invalidate.
+func streamKeyFor(entry *catalog.Entry, fp *fingerprint) string {
+	data, err := json.Marshal(fp)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%s#%d|%x", entry.Name, entry.Lineage, sum[:12])
 }
 
 func sortedCopy(in []string) []string {
@@ -153,6 +177,11 @@ func (s *Server) invalidateTable(name string) {
 	}
 	if s.sessions != nil {
 		s.sessions.InvalidatePrefix(name + "@")
+	}
+	// Replace/unload ends the lineage: stream sessions die with it. (The
+	// append path does NOT call this — successor generations warm-start.)
+	if s.streams != nil {
+		s.streams.InvalidatePrefix(name + "#")
 	}
 }
 

@@ -11,6 +11,7 @@
 //
 //	GET    /tables        — list loaded tables
 //	POST   /tables?name=N — upload a CSV body as table N
+//	POST   /tables/{name}/rows — append a CSV batch to a loaded table
 //	DELETE /tables/{name} — unload a table
 //	GET    /schema        — a table's columns and kinds (?table=N)
 //	POST   /query         — {"table", "sql"} → aggregate results
@@ -33,6 +34,12 @@
 // identical requests coalesce onto one job, and a repeat differing only in
 // the c knob reuses the session's DT partitioning (§8.3.3). Requests opt
 // out per call with "cache": "bypass".
+//
+// Appended tables are served warm (see stream.go): appending rows publishes
+// a SUCCESSOR generation on the same lineage, and a repeated explanation
+// after the append re-scores the previous run's candidates against the
+// grown groups — "refreshed_from" in the result names the generation the
+// warm state came from — instead of invalidating and re-searching.
 package server
 
 import (
@@ -63,6 +70,10 @@ type Server struct {
 	// when caching is disabled (ConfigureCache(-1)).
 	cache    *cache.Cache
 	sessions *cache.Cache
+	// streams holds per-(table lineage, request) Refresher sessions: the
+	// append-path warm-start units (see stream.go). nil when caching is
+	// disabled.
+	streams *cache.Cache
 	// inflightJobs maps a live coalescable job's id to its inflight record
 	// so the explicit DELETE /jobs/{id} path can honor waiter accounting
 	// (one client's cancel must not kill a search others still wait on).
@@ -113,9 +124,11 @@ func NewCatalog(cat *catalog.Catalog, sched *jobs.Scheduler) *Server {
 		mux:      http.NewServeMux(),
 		cache:    cache.New(0), // 0 = cache.DefaultCapacity
 		sessions: cache.New(defaultSessionEntries),
+		streams:  cache.New(defaultStreamEntries),
 	}
 	s.mux.HandleFunc("GET /tables", s.handleTables)
 	s.mux.HandleFunc("POST /tables", s.handleTableUpload)
+	s.mux.HandleFunc("POST /tables/{name}/rows", s.handleTableAppend)
 	s.mux.HandleFunc("DELETE /tables/{name}", s.handleTableDelete)
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
@@ -150,15 +163,29 @@ type tableJSON struct {
 	Columns  int    `json:"columns"`
 	Source   string `json:"source"`
 	LoadedAt string `json:"loaded_at"`
+	// Gen is the entry's content generation; Lineage identifies its
+	// append-only snapshot chain (appends bump Gen, keep Lineage).
+	Gen     int64 `json:"gen"`
+	Lineage int64 `json:"lineage"`
+	// AppendedRows is the size of the latest appended tail (0 for a fresh
+	// load).
+	AppendedRows int `json:"appended_rows,omitempty"`
 }
 
 func entryJSON(e *catalog.Entry) tableJSON {
+	appended := 0
+	if e.PrevGen != 0 {
+		appended = e.Rows() - e.PrevRows
+	}
 	return tableJSON{
-		Name:     e.Name,
-		Rows:     e.Rows(),
-		Columns:  e.Columns(),
-		Source:   e.Source,
-		LoadedAt: e.LoadedAt.UTC().Format(time.RFC3339),
+		Name:         e.Name,
+		Rows:         e.Rows(),
+		Columns:      e.Columns(),
+		Source:       e.Source,
+		LoadedAt:     e.LoadedAt.UTC().Format(time.RFC3339),
+		Gen:          e.Gen,
+		Lineage:      e.Lineage,
+		AppendedRows: appended,
 	}
 }
 
@@ -198,6 +225,49 @@ func (s *Server) handleTableUpload(w http.ResponseWriter, r *http.Request) {
 	// generation, so this is hygiene, not the correctness mechanism.)
 	s.invalidateTable(name)
 	writeJSON(w, http.StatusCreated, map[string]any{"table": entryJSON(e)})
+}
+
+// handleTableAppend grows a loaded table by a CSV batch (header row naming
+// the table's columns, any order). The append publishes a successor
+// generation on the same lineage: cached results and Explainer sessions of
+// the old generation are swept (they can never be hit again), but stream
+// sessions survive — the next explanation against this table warm-starts
+// from them instead of searching cold.
+func (s *Server) handleTableAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	limit := s.MaxUploadBytes
+	if limit <= 0 {
+		limit = defaultMaxUploadBytes
+	}
+	body := http.MaxBytesReader(w, r.Body, limit)
+	e, n, err := s.catalog.AppendCSV(name, body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("append exceeds the %d-byte limit", limit))
+		case errors.Is(err, catalog.ErrNotFound):
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	// Old-generation results and sessions are unreachable now (keys embed
+	// the generation); sweep them for memory, NOT for correctness. The
+	// stream sessions (keyed by lineage) are deliberately kept: successor
+	// generations warm-start rather than invalidate.
+	if s.cache != nil {
+		s.cache.InvalidatePrefix(name + "@")
+	}
+	if s.sessions != nil {
+		s.sessions.InvalidatePrefix(name + "@")
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":    entryJSON(e),
+		"appended": n,
+	})
 }
 
 func (s *Server) handleTableDelete(w http.ResponseWriter, r *http.Request) {
@@ -434,9 +504,9 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error
 		sreq.SetLambda(*req.Lambda)
 	}
 
-	var key, sessionKey string
+	var key, sessionKey, streamKey string
 	if s.cache != nil && req.Cache != "bypass" {
-		key, sessionKey = explainKeys(entry, sreq)
+		key, sessionKey, streamKey = explainKeys(entry, sreq)
 	}
 
 	interval := s.ProgressInterval
@@ -463,8 +533,11 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error
 			}
 			r.OnProgress = onProgress
 			var res *scorpion.Result
+			var refreshedFrom int64
 			var err error
-			if sess := s.sessionFor(sessionKey); sess != nil {
+			if ss := s.streamFor(streamKey); ss != nil {
+				res, refreshedFrom, err = ss.run(ctx, &r, entry)
+			} else if sess := s.sessionFor(sessionKey); sess != nil {
 				res, err = sess.run(ctx, &r, granted, onProgress, interval)
 			} else {
 				res, err = scorpion.ExplainContext(ctx, &r)
@@ -474,6 +547,9 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error
 			}
 			// A partial (interrupted) result is still worth returning.
 			out := explainResultJSON(res)
+			if refreshedFrom > 0 {
+				out["refreshed_from"] = refreshedFrom
+			}
 			if key != "" {
 				out["cached"] = false
 				out["cache_key"] = key
@@ -507,6 +583,9 @@ func explainResultJSON(res *scorpion.Result) map[string]any {
 	}
 	if res.Stats.ReusedPartition {
 		out["reused_partition"] = true
+	}
+	if res.Stats.Refreshed {
+		out["refreshed"] = true
 	}
 	if res.Stats.Interrupted {
 		out["interrupted"] = true
@@ -634,6 +713,7 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 		"enabled":  true,
 		"results":  s.cache.Stats(),
 		"sessions": s.sessions.Stats().Entries,
+		"streams":  s.streams.Stats().Entries,
 	})
 }
 
@@ -647,6 +727,7 @@ func (s *Server) handleCacheClear(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cleared":          s.cache.Clear(),
 		"sessions_cleared": s.sessions.Clear(),
+		"streams_cleared":  s.streams.Clear(),
 	})
 }
 

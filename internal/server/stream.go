@@ -1,0 +1,95 @@
+package server
+
+// Streaming warm-start (the append path's serving story). Where cache.go
+// makes REPEATED traffic cheap on FIXED data, this file makes repeated
+// traffic cheap on GROWING data: appending rows to a table publishes a
+// successor generation on the same lineage, and instead of treating the new
+// generation as a plain cache invalidation, the server keeps a
+// per-(table lineage, request) scorpion.Refresher whose incremental state —
+// per-group provenance and decomposable aggregate states advanced from each
+// appended tail — lets the next identical request re-score the previous
+// search's candidates instead of searching cold. Results carry
+// "refreshed": true and "refreshed_from": <generation the warm state came
+// from>.
+//
+// Stream sessions are keyed WITHOUT the generation (lineage instead), so a
+// successor generation maps to the same session; a replace or unload starts
+// a new lineage and therefore a cold session. They currently serve the
+// requests the Explainer sessions do NOT claim (forced NAIVE/MC searches
+// and sharded runs): an unsharded DT/Auto request keeps its §8.3.3 c-sweep
+// partition reuse, which a per-c stream session would otherwise defeat.
+
+import (
+	"context"
+	"sync"
+
+	scorpion "github.com/scorpiondb/scorpion"
+	"github.com/scorpiondb/scorpion/internal/catalog"
+)
+
+// defaultStreamEntries bounds the stream-session store. Each session pins a
+// table snapshot, the full candidate list of its last run, and per-group
+// aggregate states, so the bound is deliberately modest.
+const defaultStreamEntries = 16
+
+// streamSession is one warm-start unit: a Refresher plus the generation its
+// state was last computed against. Runs are serialized per session;
+// concurrent identical requests coalesce upstream (cache.go), and a
+// concurrent DIFFERENT request on the same session falls back to a plain
+// search rather than queueing.
+type streamSession struct {
+	mu  sync.Mutex
+	ref *scorpion.Refresher
+	gen int64 // generation of ref's current state; 0 before the first run
+}
+
+// streamFor resolves (or creates) the stream session under key; nil when
+// streaming warm-start is disabled or inapplicable.
+func (s *Server) streamFor(key string) *streamSession {
+	if s.streams == nil || key == "" {
+		return nil
+	}
+	return s.streams.GetOrCreate(key, 1, func() any { return &streamSession{} }).(*streamSession)
+}
+
+// run executes one request through the session. It returns the generation
+// the result was refreshed from (0 when the run was cold). The request r
+// already carries the job's granted workers and progress reporter.
+func (ss *streamSession) run(ctx context.Context, r *scorpion.Request, entry *catalog.Entry) (*scorpion.Result, int64, error) {
+	if !ss.mu.TryLock() {
+		// Mid-run for another request: don't park this job's workers on a
+		// lock — run sessionless. Only the warm start is forgone.
+		res, err := scorpion.ExplainContext(ctx, r)
+		return res, 0, err
+	}
+	defer ss.mu.Unlock()
+	if entry.Gen < ss.gen {
+		// A queued job that resolved its entry BEFORE an append another
+		// request has since advanced past: answering it from the session
+		// would cold-rebuild on the obsolete snapshot and throw away the
+		// fresher warm state. Run it sessionless instead.
+		res, err := scorpion.ExplainContext(ctx, r)
+		return res, 0, err
+	}
+	if ss.ref == nil {
+		ref, err := scorpion.NewRefresher(r)
+		if err != nil {
+			res, rerr := scorpion.ExplainContext(ctx, r)
+			return res, 0, rerr
+		}
+		ss.ref = ref
+	}
+	prevGen := ss.gen
+	ss.ref.Configure(r.Workers, r.OnProgress, r.ProgressInterval)
+	res, refreshed, err := ss.ref.ExplainTable(ctx, entry.Table)
+	// Drop the per-job callback so the long-lived session only pins the
+	// state it reuses, not the finished job behind the progress closure.
+	ss.ref.Configure(0, nil, 0)
+	if err == nil {
+		ss.gen = entry.Gen
+	}
+	if refreshed && prevGen != 0 {
+		return res, prevGen, err
+	}
+	return res, 0, err
+}

@@ -1,0 +1,285 @@
+// Package stream maintains the incremental state that lets explanations
+// track an append-only table instead of restarting from scratch — the
+// streaming-ingestion counterpart of §5.1's decomposable aggregates.
+//
+// A Tracker follows one (table lineage, query) pair. It keeps, per output
+// group, the provenance RowSet and the aggregate's Removable state; when
+// the table grows by an append batch, Advance runs the query over ONLY the
+// tail window (the rows the batch added, modeled as a relation.View),
+// embeds the tail's group slices into the new global id space, and folds
+// their states into the existing ones with Removable.Update. All QUERY
+// work is proportional to the batch, never to the table; the one
+// table-sized cost left is widening every group's provenance bitmap to
+// the new universe — a straight word copy (|D|/64 words per group), paid
+// instead of the cold path's full scan, regroup, and per-group state
+// rebuild. The refreshed states seed influence.NewScorerSeeded, so a warm
+// re-explain skips all of those.
+//
+// The Tracker is deliberately label-agnostic: it maintains ALL groups, and
+// the caller (which knows the request's outlier/hold-out labels and λ)
+// decides from the Advance delta whether its cached candidates can be
+// re-scored warm or the labels changed shape (e.g. a brand-new group under
+// all-others-hold-out) and a cold run is due.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/scorpiondb/scorpion/internal/aggregate"
+	"github.com/scorpiondb/scorpion/internal/query"
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+// GroupState is one output group's incrementally maintained state.
+type GroupState struct {
+	// Key is the canonical group key.
+	Key string
+	// KeyValues are the group-by column values.
+	KeyValues []relation.Value
+	// Rows is the group's provenance over the CURRENT table (universe =
+	// Tracker.Rows()). It is replaced — never mutated in place — on
+	// Advance, so snapshots handed out earlier stay consistent.
+	Rows *relation.RowSet
+	// State is the aggregate's Removable state over Rows.
+	State aggregate.State
+}
+
+// Value recovers the group's aggregate result from its state.
+func (g *GroupState) Value(rem aggregate.Removable) float64 { return rem.Recover(g.State) }
+
+// Delta reports what an append batch did to the query's output groups.
+type Delta struct {
+	// TailRows is the number of appended rows the batch contributed
+	// (after the query's WHERE filter, rows that joined some group).
+	TailRows int
+	// Touched lists existing groups that gained rows, sorted by key.
+	Touched []string
+	// New lists groups that did not exist before the batch, sorted by key.
+	New []string
+}
+
+// Tracker maintains per-group provenance and Removable states for one
+// query over one append-only table lineage. It is not safe for concurrent
+// use; callers (the Refresher, the server's stream sessions) serialize.
+type Tracker struct {
+	sql    string
+	table  *relation.Table
+	rows   int
+	q      *query.AggregateQuery // bound against the current table
+	rem    aggregate.Removable
+	groups map[string]*GroupState
+}
+
+// NewTracker executes the query cold over the table and captures every
+// group's provenance and state. The query's aggregate must be
+// incrementally removable — black-box aggregates have no decomposable
+// state to maintain, so streaming callers fall back to cold runs.
+func NewTracker(tbl *relation.Table, sql string) (*Tracker, error) {
+	q, err := query.FromSQL(tbl, sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := q.Run()
+	if err != nil {
+		return nil, err
+	}
+	return newTracker(tbl, sql, q, res)
+}
+
+// NewTrackerFromResult builds a tracker from an ALREADY-EXECUTED query
+// result over tbl — the cold-run path, where the search just ran the very
+// same query and re-scanning the table for grouping would double the
+// O(|D|) work. Only the per-group state construction remains.
+func NewTrackerFromResult(tbl *relation.Table, sql string, res *query.Result) (*Tracker, error) {
+	if res == nil || res.Query == nil {
+		return nil, fmt.Errorf("stream: nil query result")
+	}
+	if res.Query.Table.Data() != tbl {
+		return nil, fmt.Errorf("stream: query result was executed against a different table")
+	}
+	return newTracker(tbl, sql, res.Query, res)
+}
+
+func newTracker(tbl *relation.Table, sql string, q *query.AggregateQuery, res *query.Result) (*Tracker, error) {
+	rem, ok := q.Agg.(aggregate.Removable)
+	if !ok {
+		return nil, fmt.Errorf("stream: aggregate %q is not incrementally removable", q.Agg.Name())
+	}
+	tr := &Tracker{
+		sql:    sql,
+		table:  tbl,
+		rows:   tbl.NumRows(),
+		q:      q,
+		rem:    rem,
+		groups: make(map[string]*GroupState, len(res.Rows)),
+	}
+	for _, row := range res.Rows {
+		tr.groups[row.Key] = &GroupState{
+			Key:       row.Key,
+			KeyValues: row.KeyValues,
+			Rows:      row.Group,
+			State:     rem.State(tr.values(tbl, row.Group)),
+		}
+	}
+	return tr, nil
+}
+
+// values projects the aggregate attribute over a group, with the Task
+// convention for count(*): every tuple contributes 1.
+func (tr *Tracker) values(tbl *relation.Table, rows *relation.RowSet) []float64 {
+	out := make([]float64, 0, rows.Count())
+	if tr.q.AggCol < 0 {
+		for i := 0; i < rows.Count(); i++ {
+			out = append(out, 1)
+		}
+		return out
+	}
+	col := tbl.Floats(tr.q.AggCol)
+	rows.ForEach(func(r int) { out = append(out, col[r]) })
+	return out
+}
+
+// Rows reports the row count the tracker's state matches.
+func (tr *Tracker) Rows() int { return tr.rows }
+
+// Table returns the snapshot the tracker's state matches.
+func (tr *Tracker) Table() *relation.Table { return tr.table }
+
+// Removable returns the aggregate's removable interface.
+func (tr *Tracker) Removable() aggregate.Removable { return tr.rem }
+
+// AggCol returns the aggregate attribute's column index (-1 for count(*)).
+func (tr *Tracker) AggCol() int { return tr.q.AggCol }
+
+// Group returns the state of the keyed group.
+func (tr *Tracker) Group(key string) (*GroupState, bool) {
+	g, ok := tr.groups[key]
+	return g, ok
+}
+
+// Keys returns every group key, sorted.
+func (tr *Tracker) Keys() []string {
+	out := make([]string, 0, len(tr.groups))
+	for k := range tr.groups {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Advance folds an append batch into the tracker: succ must be a successor
+// snapshot of the tracked table (same schema, at least as many rows, with
+// the tracked rows as its prefix — the shape catalog.Append guarantees for
+// entries sharing a Lineage). Only the tail window [Rows(), succ.NumRows())
+// is scanned. It returns what changed; a no-growth successor yields an
+// empty delta.
+func (tr *Tracker) Advance(succ *relation.Table) (*Delta, error) {
+	if succ == nil {
+		return nil, fmt.Errorf("stream: nil successor table")
+	}
+	if !succ.Schema().Equal(tr.table.Schema()) {
+		return nil, fmt.Errorf("stream: successor schema %q != tracked %q", succ.Schema(), tr.table.Schema())
+	}
+	n := succ.NumRows()
+	if n < tr.rows {
+		return nil, fmt.Errorf("stream: successor has %d rows, tracker at %d — not an append", n, tr.rows)
+	}
+	if n == tr.rows {
+		tr.table = succ
+		return &Delta{}, nil
+	}
+	tail := succ.Tail(tr.rows)
+	// Re-binding against the tail view recompiles the WHERE filter and the
+	// grouping over window-local ids; Run costs O(tail).
+	tq, err := query.FromSQL(tail, tr.sql)
+	if err != nil {
+		return nil, err
+	}
+	tres, err := tq.Run()
+	if err != nil {
+		return nil, err
+	}
+	delta := &Delta{}
+	// Grow every existing group's universe to the new row count. Embed
+	// allocates fresh sets, so previously handed-out snapshots (scorer
+	// tasks, query results) keep reading their own frozen state.
+	for _, g := range tr.groups {
+		g.Rows = g.Rows.Embed(0, n)
+	}
+	for _, row := range tres.Rows {
+		local := row.Group
+		delta.TailRows += local.Count()
+		global := tail.GlobalRows(local)
+		tailState := tr.rem.State(tr.valuesView(tail, local))
+		if g, ok := tr.groups[row.Key]; ok {
+			g.Rows.Or(global)
+			g.State = tr.rem.Update(g.State, tailState)
+			delta.Touched = append(delta.Touched, row.Key)
+		} else {
+			tr.groups[row.Key] = &GroupState{
+				Key:       row.Key,
+				KeyValues: row.KeyValues,
+				Rows:      global,
+				State:     tailState,
+			}
+			delta.New = append(delta.New, row.Key)
+		}
+	}
+	sort.Strings(delta.Touched)
+	sort.Strings(delta.New)
+	tr.table = succ
+	tr.rows = n
+	q, err := query.FromSQL(succ, tr.sql)
+	if err != nil {
+		return nil, err
+	}
+	tr.q = q
+	return delta, nil
+}
+
+// valuesView projects the aggregate attribute over window-local rows.
+func (tr *Tracker) valuesView(v *relation.View, rows *relation.RowSet) []float64 {
+	out := make([]float64, 0, rows.Count())
+	if tr.q.AggCol < 0 {
+		for i := 0; i < rows.Count(); i++ {
+			out = append(out, 1)
+		}
+		return out
+	}
+	col := v.Floats(tr.q.AggCol)
+	rows.ForEach(func(r int) { out = append(out, col[r]) })
+	return out
+}
+
+// Result materializes the tracked groups as a query.Result over the
+// current table — values recovered from the maintained states, provenance
+// shared with the tracker's current sets. Equivalent to re-running the
+// query, at O(groups) cost.
+func (tr *Tracker) Result() *query.Result {
+	rows := make([]query.ResultRow, 0, len(tr.groups))
+	for _, g := range tr.groups {
+		rows = append(rows, query.ResultRow{
+			Key:       g.Key,
+			KeyValues: g.KeyValues,
+			Value:     tr.rem.Recover(g.State),
+			Group:     g.Rows,
+		})
+	}
+	return query.NewResult(tr.q, rows)
+}
+
+// States collects the Removable states for the given group keys, in order.
+// A missing key yields an error — the caller's labels referenced a group
+// the tracked query no longer produces.
+func (tr *Tracker) States(keys []string) ([]aggregate.State, error) {
+	out := make([]aggregate.State, len(keys))
+	for i, k := range keys {
+		g, ok := tr.groups[k]
+		if !ok {
+			return nil, fmt.Errorf("stream: no tracked group %q", k)
+		}
+		out[i] = g.State
+	}
+	return out, nil
+}

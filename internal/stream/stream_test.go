@@ -1,0 +1,240 @@
+package stream
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/relation"
+)
+
+func schema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "g", Kind: relation.Discrete},
+		relation.Column{Name: "a", Kind: relation.Continuous},
+		relation.Column{Name: "v", Kind: relation.Continuous},
+	)
+}
+
+func row(g string, a, v float64) relation.Row {
+	return relation.Row{relation.S(g), relation.F(a), relation.F(v)}
+}
+
+func baseRows() []relation.Row {
+	var rows []relation.Row
+	for i := 0; i < 30; i++ {
+		rows = append(rows, row([]string{"x", "y", "z"}[i%3], float64(i%10), float64(10+i%7)))
+	}
+	return rows
+}
+
+const sql = "SELECT sum(v), g FROM t GROUP BY g"
+
+func buildTable(t *testing.T, rows []relation.Row) *relation.Table {
+	t.Helper()
+	b := relation.NewBuilder(schema())
+	for _, r := range rows {
+		b.MustAppend(r)
+	}
+	return b.Build()
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTrackerAdvanceMatchesColdTracker(t *testing.T) {
+	base := buildTable(t, baseRows())
+	tr, err := NewTracker(base, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := relation.AppenderFor(base)
+	batches := [][]relation.Row{
+		{row("x", 1, 99), row("w", 2, 5)}, // touches x, creates w
+		{row("y", 3, 7), row("y", 4, 8)},  // touches y twice
+		{row("w", 5, 1), row("z", 6, 2), row("x", 7, 3)},
+	}
+	for i, batch := range batches {
+		succ, err := app.Append(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta, err := tr.Advance(succ)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if delta.TailRows != len(batch) {
+			t.Fatalf("batch %d: tail rows %d, want %d", i, delta.TailRows, len(batch))
+		}
+	}
+	final := app.Snapshot()
+
+	// The incrementally advanced tracker must agree with a cold tracker
+	// built on the final snapshot: same groups, same provenance, same
+	// recovered values.
+	cold, err := NewTracker(final, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmKeys, coldKeys := tr.Keys(), cold.Keys()
+	if len(warmKeys) != len(coldKeys) {
+		t.Fatalf("keys %v != %v", warmKeys, coldKeys)
+	}
+	for i := range warmKeys {
+		if warmKeys[i] != coldKeys[i] {
+			t.Fatalf("keys %v != %v", warmKeys, coldKeys)
+		}
+		w, _ := tr.Group(warmKeys[i])
+		c, _ := cold.Group(coldKeys[i])
+		if !w.Rows.Equal(c.Rows) {
+			t.Fatalf("group %q provenance %v != %v", warmKeys[i], w.Rows, c.Rows)
+		}
+		if !almostEqual(w.Value(tr.Removable()), c.Value(cold.Removable())) {
+			t.Fatalf("group %q value %v != %v", warmKeys[i],
+				w.Value(tr.Removable()), c.Value(cold.Removable()))
+		}
+	}
+	// Result() round-trips through query.NewResult with canonical ordering.
+	wres, cres := tr.Result(), cold.Result()
+	if len(wres.Rows) != len(cres.Rows) {
+		t.Fatalf("result rows %d != %d", len(wres.Rows), len(cres.Rows))
+	}
+	for i := range wres.Rows {
+		if wres.Rows[i].Key != cres.Rows[i].Key || !almostEqual(wres.Rows[i].Value, cres.Rows[i].Value) {
+			t.Fatalf("result row %d: %+v != %+v", i, wres.Rows[i], cres.Rows[i])
+		}
+	}
+}
+
+func TestTrackerDeltaReportsTouchedAndNew(t *testing.T) {
+	base := buildTable(t, baseRows())
+	tr, err := NewTracker(base, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := relation.AppenderFor(base)
+	succ, err := app.Append([]relation.Row{row("x", 0, 1), row("new1", 0, 2), row("new1", 0, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := tr.Advance(succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Touched) != 1 || delta.Touched[0] != "x" {
+		t.Fatalf("touched = %v", delta.Touched)
+	}
+	if len(delta.New) != 1 || delta.New[0] != "new1" {
+		t.Fatalf("new = %v", delta.New)
+	}
+	g, ok := tr.Group("new1")
+	if !ok || g.Rows.Count() != 2 || !almostEqual(g.Value(tr.Removable()), 5) {
+		t.Fatalf("new group state: %+v", g)
+	}
+	// No-growth advance: empty delta.
+	delta, err = tr.Advance(succ)
+	if err != nil || len(delta.Touched)+len(delta.New) != 0 || delta.TailRows != 0 {
+		t.Fatalf("no-growth delta = %+v err %v", delta, err)
+	}
+}
+
+func TestTrackerRespectsWhereFilter(t *testing.T) {
+	base := buildTable(t, baseRows())
+	filtered := "SELECT sum(v), g FROM t WHERE a < 5 GROUP BY g"
+	tr, err := NewTracker(base, filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := relation.AppenderFor(base)
+	// One row passes the filter, one does not.
+	succ, err := app.Append([]relation.Row{row("x", 1, 50), row("x", 9, 50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := tr.Advance(succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.TailRows != 1 {
+		t.Fatalf("filtered tail rows = %d, want 1", delta.TailRows)
+	}
+	cold, err := NewTracker(succ, filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := tr.Group("x")
+	c, _ := cold.Group("x")
+	if !w.Rows.Equal(c.Rows) || !almostEqual(w.Value(tr.Removable()), c.Value(cold.Removable())) {
+		t.Fatalf("filtered advance diverged: %v vs %v", w, c)
+	}
+}
+
+func TestTrackerErrors(t *testing.T) {
+	base := buildTable(t, baseRows())
+	// Black-box aggregate: no decomposable state to maintain.
+	if _, err := NewTracker(base, "SELECT median(v), g FROM t GROUP BY g"); err == nil {
+		t.Fatal("median tracker built")
+	}
+	tr, err := NewTracker(base, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A shorter table is not a successor.
+	short := buildTable(t, baseRows()[:10])
+	if _, err := tr.Advance(short); err == nil {
+		t.Fatal("shrunk successor accepted")
+	}
+	// A different schema is not a successor.
+	other := relation.NewBuilder(relation.MustSchema(
+		relation.Column{Name: "q", Kind: relation.Continuous})).Build()
+	if _, err := tr.Advance(other); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := tr.Advance(nil); err == nil {
+		t.Fatal("nil successor accepted")
+	}
+	// States for a label that is not a group.
+	if _, err := tr.States([]string{"x", "ghost"}); err == nil {
+		t.Fatal("missing group accepted")
+	}
+}
+
+func TestTrackerSnapshotsStableUnderConcurrentAdvance(t *testing.T) {
+	// The supported concurrency pattern: state handed out before an
+	// Advance (group rowsets, results) is frozen — readers may keep using
+	// it while the tracker advances. The race detector checks this.
+	base := buildTable(t, baseRows())
+	tr, err := NewTracker(base, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := tr.Group("x")
+	frozenRows := g.Rows
+	frozenRes := tr.Result()
+	app := relation.AppenderFor(base)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			frozenRows.Count()
+			if r, ok := frozenRes.Lookup("x"); !ok || r.Group.IsEmpty() {
+				t.Error("frozen result lost its group")
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		succ, err := app.Append([]relation.Row{row("x", 1, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Advance(succ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if frozenRows.Universe() != base.NumRows() {
+		t.Fatalf("frozen rowset universe changed to %d", frozenRows.Universe())
+	}
+}

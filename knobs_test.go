@@ -114,7 +114,7 @@ func TestAssembleRecomputesHoldOutFlag(t *testing.T) {
 		{Pred: outlierOnly, Score: 1, InfluencesHoldOut: true},
 		{Pred: holdOutTouching, Score: 0.5, InfluencesHoldOut: false},
 	}
-	res := assemble(req, scorer, cands, nil)
+	res, _ := assemble(req, scorer, cands, nil)
 	if len(res.Explanations) != 2 {
 		t.Fatalf("explanations = %d, want 2", len(res.Explanations))
 	}
@@ -140,9 +140,9 @@ type checkRecorder struct {
 	sawVals []int // lengths of the value slices passed to Check
 }
 
-func (c *checkRecorder) Name() string                  { return "recorder" }
+func (c *checkRecorder) Name() string                   { return "recorder" }
 func (c *checkRecorder) Compute(vals []float64) float64 { return float64(len(vals)) }
-func (c *checkRecorder) Independent() bool             { return true }
+func (c *checkRecorder) Independent() bool              { return true }
 func (c *checkRecorder) Check(vals []float64) bool {
 	c.sawVals = append(c.sawVals, len(vals))
 	return len(vals) > 0 // an empty projection must NOT pass

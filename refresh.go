@@ -1,0 +1,246 @@
+package scorpion
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/partition"
+	"github.com/scorpiondb/scorpion/internal/stream"
+)
+
+// Refresher answers repeated explanation requests over an APPEND-ONLY table
+// as it grows — the streaming-ingestion counterpart of the Explainer's
+// c-sweep reuse. Where the Explainer keeps search state warm across knob
+// changes on fixed data, the Refresher keeps it warm across data changes on
+// a fixed request:
+//
+//   - a cold run snapshots the full exact-scored candidate list (not just
+//     the top-k) and starts a stream.Tracker over the table;
+//   - when the table grows by an append batch, the tracker folds the tail
+//     window into its per-group provenance and Removable states at
+//     O(batch) cost, and the Refresher re-scores the snapshot's candidates
+//     EXACTLY against the grown groups through a state-seeded scorer —
+//     skipping query re-execution, state rebuilding, and the entire
+//     predicate search.
+//
+// The warm result re-ranks the previous run's candidate pool under the new
+// data. If an append shifts the data so far that the best predicate lies
+// OUTSIDE that pool, only a cold run can find it — so the Refresher falls
+// back to a cold run whenever the structure changed (new groups under
+// all-others-hold-out, label groups missing, non-removable aggregates,
+// interrupted prior runs) or the table grew past MaxWarmGrowth since the
+// last cold run. See the README's "Streaming ingestion" section for the
+// determinism caveats.
+//
+// ExplainTable must be called with the request's own table or an append
+// SUCCESSOR of it: a later snapshot of the same append chain (equal schema,
+// the previous rows as a prefix — what catalog entries sharing a Lineage
+// guarantee). A Refresher is NOT safe for concurrent use; callers
+// serialize (the HTTP server's stream sessions hold a per-session lock).
+type Refresher struct {
+	req     Request
+	tracker *stream.Tracker // nil until a clean cold run (or when not removable)
+	cands   []partition.Candidate
+	algo    Algorithm
+	shards  int // shard count of the cold search the candidates came from
+	rows    int // rows at the last cold run — MaxWarmGrowth's baseline
+}
+
+// MaxWarmGrowth caps how much the table may grow, relative to its size at
+// the last cold run, before the Refresher re-searches instead of
+// re-scoring: past 50% growth the cached candidate pool is more stale than
+// warm. (Each warm refresh still advances the tracker; the cap only forces
+// the search itself to rerun.)
+const MaxWarmGrowth = 0.5
+
+// NewRefresher prepares a refresher for the request. No search runs until
+// the first ExplainTable call (which is always cold). The request's Table
+// is the chain's base; its knobs (labels, λ, c, algorithm, shards) are
+// fixed for the refresher's lifetime — a different request shape belongs to
+// a different Refresher.
+func NewRefresher(req *Request) (*Refresher, error) {
+	if req == nil {
+		return nil, fmt.Errorf("scorpion: nil request")
+	}
+	return &Refresher{req: *req}, nil
+}
+
+// Configure adjusts the per-run execution knobs — worker-pool size,
+// progress callback, and sampling interval — without touching warm state.
+func (f *Refresher) Configure(workers int, onProgress func(Progress), interval time.Duration) {
+	f.req.Workers = workers
+	f.req.OnProgress = onProgress
+	f.req.ProgressInterval = interval
+}
+
+// ExplainTable explains the request against tbl — the refresher's current
+// table or an append successor of it. It reports whether the warm path
+// answered (Stats.Refreshed is set on the Result too).
+func (f *Refresher) ExplainTable(ctx context.Context, tbl *Table) (*Result, bool, error) {
+	if tbl == nil {
+		return nil, false, fmt.Errorf("scorpion: nil table")
+	}
+	if f.canRefresh(tbl) {
+		if res, err, ok := f.refresh(ctx, tbl); ok {
+			return res, true, err
+		}
+	}
+	res, err := f.cold(ctx, tbl)
+	return res, false, err
+}
+
+// canRefresh gates the warm path on the cheap structural checks; refresh
+// itself re-checks what only the tail reveals (new groups, missing labels).
+func (f *Refresher) canRefresh(tbl *Table) bool {
+	if f.tracker == nil || len(f.cands) == 0 || f.rows == 0 {
+		return false
+	}
+	n := tbl.NumRows()
+	if n < f.tracker.Rows() || !tbl.Schema().Equal(f.tracker.Table().Schema()) {
+		return false
+	}
+	return float64(n-f.rows) <= MaxWarmGrowth*float64(f.rows)
+}
+
+// cold runs the full search against tbl and snapshots the warm state.
+func (f *Refresher) cold(ctx context.Context, tbl *Table) (*Result, error) {
+	r := f.req
+	r.Table = tbl
+	res, scored, err := explainFull(ctx, &r)
+	f.req.Table = tbl
+	f.rows = tbl.NumRows()
+	if err != nil || res == nil || res.Stats.Interrupted {
+		// A partial candidate list would silently degrade every later warm
+		// refresh; only clean runs seed the snapshot.
+		f.cands, f.tracker = nil, nil
+		return res, err
+	}
+	f.algo = res.Stats.Algorithm
+	f.shards = res.Stats.Shards
+	f.cands = scored
+	// Seed the tracker from the run's own query result: the search just
+	// executed this exact query, so only the per-group states are built
+	// here, not a second full-table grouping pass.
+	if tr, terr := stream.NewTrackerFromResult(tbl, f.req.SQL, res.QueryResult); terr == nil {
+		f.tracker = tr
+	} else {
+		// Not incrementally removable: this refresher only ever runs cold.
+		f.tracker = nil
+	}
+	return res, nil
+}
+
+// refresh advances the tracker over the appended tail and re-scores the
+// cached candidates exactly under the grown groups. ok=false means the
+// delta revealed a structural change and the caller should run cold.
+func (f *Refresher) refresh(ctx context.Context, tbl *Table) (*Result, error, bool) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("scorpion: %w", err), true
+	}
+	delta, err := f.tracker.Advance(tbl)
+	if err != nil {
+		// An advance that failed structurally may have been a half-applied
+		// batch; drop the tracker so the cold fallback rebuilds it.
+		f.tracker = nil
+		return nil, nil, false
+	}
+	// A brand-new group under all-others-hold-out changes the label set
+	// itself — the cached candidates were never scored against it.
+	if f.req.AllOthersHoldOut && len(f.req.HoldOuts) == 0 && len(delta.New) > 0 {
+		return nil, nil, false
+	}
+	task := &influence.Task{
+		Table:   tbl,
+		Agg:     f.tracker.Removable(),
+		AggCol:  f.tracker.AggCol(),
+		Lambda:  f.req.ResolvedLambda(),
+		C:       f.req.ResolvedC(),
+		Perturb: f.req.Perturb,
+	}
+	flagged := make(map[string]bool, len(f.req.Outliers))
+	for _, key := range f.req.Outliers {
+		g, ok := f.tracker.Group(key)
+		if !ok {
+			return nil, nil, false // label group gone from the query output
+		}
+		task.Outliers = append(task.Outliers,
+			influence.Group{Key: key, Rows: g.Rows, Direction: f.req.directionFor(key)})
+		flagged[key] = true
+	}
+	holdKeys := f.req.HoldOuts
+	if len(holdKeys) == 0 && f.req.AllOthersHoldOut {
+		for _, key := range f.tracker.Keys() {
+			if !flagged[key] {
+				holdKeys = append(holdKeys, key)
+			}
+		}
+	}
+	for _, key := range holdKeys {
+		g, ok := f.tracker.Group(key)
+		if !ok {
+			return nil, nil, false
+		}
+		task.HoldOuts = append(task.HoldOuts, influence.Group{Key: key, Rows: g.Rows})
+	}
+	outStates, err := f.tracker.States(outlierKeys(task))
+	if err != nil {
+		return nil, nil, false
+	}
+	holdStates, err := f.tracker.States(holdOutKeys(task))
+	if err != nil {
+		return nil, nil, false
+	}
+	scorer, err := influence.NewScorerSeeded(task, outStates, holdStates)
+	if err != nil {
+		return nil, nil, false
+	}
+	// Re-score a copy: rescoreExact sorts and rewrites scores in place, and
+	// the cold-fallback path must not observe a half-updated snapshot.
+	cands := make([]partition.Candidate, len(f.cands))
+	copy(cands, f.cands)
+	scored := rescoreExact(scorer, cands)
+	f.cands = scored
+	r := f.req
+	r.Table = tbl
+	// f.rows deliberately stays at the LAST COLD run's size: MaxWarmGrowth
+	// caps cumulative drift since the candidates were searched, not
+	// per-batch growth — many small appends eventually force a re-search.
+	f.req.Table = tbl
+	res := present(&r, scorer, scored, f.tracker.Result())
+	res.Stats.Algorithm = f.algo
+	res.Stats.Duration = time.Since(start)
+	res.Stats.ScorerCalls = scorer.Calls()
+	// Report the shard count of the search that PRODUCED the candidate
+	// pool: the re-score itself is windowless, but dropping the field
+	// would make a sharded request look like its knob was ignored.
+	res.Stats.Shards = f.shards
+	res.Stats.Refreshed = true
+	return res, nil, true
+}
+
+// Rows reports the refresher's current table size (0 before the first run).
+func (f *Refresher) Rows() int {
+	if f.tracker != nil {
+		return f.tracker.Rows()
+	}
+	return f.rows
+}
+
+func outlierKeys(t *influence.Task) []string {
+	out := make([]string, len(t.Outliers))
+	for i, g := range t.Outliers {
+		out[i] = g.Key
+	}
+	return out
+}
+
+func holdOutKeys(t *influence.Task) []string {
+	out := make([]string, len(t.HoldOuts))
+	for i, g := range t.HoldOuts {
+		out[i] = g.Key
+	}
+	return out
+}

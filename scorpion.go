@@ -63,6 +63,9 @@ type (
 	RowSet = relation.RowSet
 	// CSVOptions controls CSV decoding.
 	CSVOptions = relation.CSVOptions
+	// Appender grows an append-only table as a chain of immutable
+	// snapshots sharing backing arrays — the streaming-ingestion substrate.
+	Appender = relation.Appender
 	// Predicate is the explanation language: a conjunction of range and
 	// set-containment clauses.
 	Predicate = predicate.Predicate
@@ -103,8 +106,21 @@ func NewSchema(cols ...Column) (*Schema, error) { return relation.NewSchema(cols
 // NewBuilder returns a table builder for the schema.
 func NewBuilder(schema *Schema) *Builder { return relation.NewBuilder(schema) }
 
+// NewAppender returns an appender over an empty table of the schema.
+func NewAppender(schema *Schema) *Appender { return relation.NewAppender(schema) }
+
+// AppenderFor returns an appender extending an existing table; the table
+// itself stays immutable while successor snapshots share its storage.
+func AppenderFor(t *Table) *Appender { return relation.AppenderFor(t) }
+
 // ReadCSV decodes a CSV stream with a header row, inferring column kinds.
 func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) { return relation.ReadCSV(r, opts) }
+
+// ParseCSVRows decodes a CSV batch (header row, any column order) into rows
+// matching an existing schema — the append-batch codec.
+func ParseCSVRows(r io.Reader, schema *Schema, opts CSVOptions) ([]Row, error) {
+	return relation.ParseCSVRows(r, schema, opts)
+}
 
 // WriteCSV encodes a table as CSV with a header row.
 func WriteCSV(w io.Writer, t *Table) error { return relation.WriteCSV(w, t) }

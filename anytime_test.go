@@ -1,0 +1,241 @@
+package scorpion
+
+// Anytime-explanation suite — the proof obligations of the epsilon knob:
+//
+//  1. Epsilon = 0 is byte-identical to an untouched request: the estimator
+//     is never built, so the exact path cannot have been perturbed. Checked
+//     across NAIVE/MC × sharded/unsharded via reflect.DeepEqual on the
+//     explanations.
+//  2. Epsilon > 0 keeps every reported rank within epsilon of the exact
+//     run's (the per-rank regret bound), prunes a meaningful share of the
+//     candidate stream, and reports exact influence values.
+//  3. Approximate runs are deterministic: run-to-run and serial-vs-parallel
+//     equality (the per-(generation, group) seeding plus the frozen-frontier
+//     batches).
+//  4. Invalid knobs are rejected up front.
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/synth"
+)
+
+// anytimeRequest builds a NAIVE-friendly request over the shared synthetic
+// dataset; callers mutate the returned request per case.
+func anytimeRequest(ds *synth.Dataset, algo Algorithm) *Request {
+	return &Request{
+		Table:            ds.Table,
+		SQL:              "SELECT sum(v), g FROM synth GROUP BY g",
+		Outliers:         ds.OutlierKeys,
+		AllOthersHoldOut: true,
+		Direction:        TooHigh,
+		Attributes:       ds.DimNames(),
+		Algorithm:        algo,
+		Shards:           1,
+	}
+}
+
+func TestEpsilonZeroByteIdentical(t *testing.T) {
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 150, Groups: 6, OutlierGroups: 2, Mu: 80, Seed: 11,
+	})
+	for _, algo := range []Algorithm{Naive, MC} {
+		for _, shards := range []int{1, 2} {
+			name := algo.String() + "/shards=" + string(rune('0'+shards))
+			t.Run(name, func(t *testing.T) {
+				plain := anytimeRequest(ds, algo)
+				plain.Shards = shards
+				base, err := Explain(plain)
+				if err != nil {
+					t.Fatal(err)
+				}
+				zero := anytimeRequest(ds, algo)
+				zero.Shards = shards
+				zero.Epsilon = 0
+				zero.Confidence = 0.99 // must be ignored at epsilon 0
+				res, err := Explain(zero)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res.Explanations, base.Explanations) {
+					t.Fatalf("epsilon=0 explanations differ from the plain request's")
+				}
+				if res.Stats.Pruned != 0 || res.Stats.Escalated != 0 {
+					t.Fatalf("epsilon=0 reported anytime counters: pruned %d escalated %d",
+						res.Stats.Pruned, res.Stats.Escalated)
+				}
+			})
+		}
+	}
+}
+
+func TestAnytimeWithinEpsilonOfExact(t *testing.T) {
+	// The two algorithms prune at very different scales. NAIVE's enumeration
+	// is dominated by thousands of near-empty range predicates whose
+	// zero-match bound already separates from the top-k frontier on small
+	// groups. MC scores only a few dozen units per generation and prunes
+	// against its generation's best unit, so a unit is certifiably droppable
+	// only when its influence sits far below that frontier relative to the
+	// sampling error of a quarter-sample — hence larger groups and a stronger
+	// planted outlier (Mu) here, which pushes the background-only units well
+	// under the cube cells' scores.
+	configs := map[Algorithm]synth.Config{
+		Naive: {Dims: 2, TuplesPerGroup: 400, Groups: 8, OutlierGroups: 3, Mu: 80, Seed: 23},
+		MC:    {Dims: 2, TuplesPerGroup: 24000, Groups: 6, OutlierGroups: 2, Mu: 150, Seed: 23},
+	}
+	for _, algo := range []Algorithm{Naive, MC} {
+		t.Run(algo.String(), func(t *testing.T) {
+			ds := synth.Generate(configs[algo])
+			exact, err := Explain(anytimeRequest(ds, algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const eps = 0.5
+			req := anytimeRequest(ds, algo)
+			req.Epsilon = eps
+			approx, err := Explain(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if approx.Stats.Pruned == 0 {
+				t.Fatalf("anytime %s run pruned nothing (escalated %d)", algo, approx.Stats.Escalated)
+			}
+			if len(approx.Explanations) == 0 {
+				t.Fatal("anytime run found nothing")
+			}
+			// Per-rank regret: the anytime kth score may trail the exact kth
+			// by at most epsilon (scores are exact re-scores on both sides).
+			n := len(approx.Explanations)
+			if len(exact.Explanations) < n {
+				n = len(exact.Explanations)
+			}
+			for i := 0; i < n; i++ {
+				if d := exact.Explanations[i].Influence - approx.Explanations[i].Influence; d > eps+1e-9 {
+					t.Fatalf("rank %d regret %v exceeds epsilon %v", i, d, eps)
+				}
+			}
+		})
+	}
+}
+
+func TestAnytimeDeterministic(t *testing.T) {
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 300, Groups: 6, OutlierGroups: 2, Mu: 80, Seed: 31,
+	})
+	run := func(workers int) *Result {
+		req := anytimeRequest(ds, Naive)
+		req.Epsilon = 0.5
+		req.Workers = workers
+		res, err := Explain(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(0)
+	again := run(0)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial.Explanations, again.Explanations) {
+		t.Fatal("anytime run-to-run explanations differ")
+	}
+	if serial.Stats.Pruned != again.Stats.Pruned || serial.Stats.Escalated != again.Stats.Escalated {
+		t.Fatalf("anytime run-to-run counters differ: (%d,%d) vs (%d,%d)",
+			serial.Stats.Pruned, serial.Stats.Escalated, again.Stats.Pruned, again.Stats.Escalated)
+	}
+	if !reflect.DeepEqual(serial.Explanations, parallel.Explanations) {
+		t.Fatal("anytime serial and parallel explanations differ")
+	}
+	if serial.Stats.Pruned != parallel.Stats.Pruned || serial.Stats.Escalated != parallel.Stats.Escalated {
+		t.Fatalf("anytime serial/parallel counters differ: (%d,%d) vs (%d,%d)",
+			serial.Stats.Pruned, serial.Stats.Escalated, parallel.Stats.Pruned, parallel.Stats.Escalated)
+	}
+}
+
+func TestAnytimeShardedRuns(t *testing.T) {
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 400, Groups: 8, OutlierGroups: 3, Mu: 80, Seed: 37,
+	})
+	req := anytimeRequest(ds, Naive)
+	req.Epsilon = 0.5
+	req.Shards = 2
+	req.Workers = 2
+	res, err := Explain(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shards != 2 {
+		t.Fatalf("ran on %d shards, want 2", res.Stats.Shards)
+	}
+	if res.Stats.Pruned == 0 && res.Stats.Escalated == 0 {
+		t.Fatal("sharded anytime run reported no anytime activity")
+	}
+	if len(res.Explanations) == 0 {
+		t.Fatal("sharded anytime run found nothing")
+	}
+	// Top-1 sanity: the winner's score must be near the unsharded exact
+	// winner's (sharded search is a different heuristic, so predicates may
+	// differ; the influence must not collapse).
+	exact, err := Explain(anytimeRequest(ds, Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := exact.Explanations[0].Influence - res.Explanations[0].Influence; math.Abs(d) > 1.0 {
+		t.Fatalf("sharded anytime top influence %v far from exact %v",
+			res.Explanations[0].Influence, exact.Explanations[0].Influence)
+	}
+}
+
+func TestAnytimeKnobValidation(t *testing.T) {
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 50, Groups: 4, OutlierGroups: 1, Mu: 80, Seed: 41,
+	})
+	req := anytimeRequest(ds, Naive)
+	req.Epsilon = -0.1
+	if _, err := Explain(req); err == nil || !strings.Contains(err.Error(), "epsilon") {
+		t.Fatalf("negative epsilon accepted (err: %v)", err)
+	}
+	req = anytimeRequest(ds, Naive)
+	req.Epsilon = 0.1
+	req.Confidence = 1.5
+	if _, err := Explain(req); err == nil || !strings.Contains(err.Error(), "confidence") {
+		t.Fatalf("confidence 1.5 accepted (err: %v)", err)
+	}
+	req = anytimeRequest(ds, Naive)
+	req.Confidence = -1
+	if _, err := Explain(req); err == nil || !strings.Contains(err.Error(), "confidence") {
+		t.Fatalf("confidence -1 accepted (err: %v)", err)
+	}
+}
+
+func TestAnytimeUnsupportedFallsBackExact(t *testing.T) {
+	// AVG is not linear-Δ: an epsilon > 0 request must silently run exact
+	// (nil estimator), matching the plain request bit for bit.
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 100, Groups: 5, OutlierGroups: 2, Mu: 80, Seed: 43,
+	})
+	build := func() *Request {
+		r := anytimeRequest(ds, Naive)
+		r.SQL = "SELECT avg(v), g FROM synth GROUP BY g"
+		return r
+	}
+	base, err := Explain(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := build()
+	req.Epsilon = 0.5
+	res, err := Explain(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Explanations, base.Explanations) {
+		t.Fatal("AVG anytime request diverged from the exact run")
+	}
+	if res.Stats.Pruned != 0 || res.Stats.Escalated != 0 {
+		t.Fatalf("AVG request reported anytime counters: pruned %d escalated %d",
+			res.Stats.Pruned, res.Stats.Escalated)
+	}
+}

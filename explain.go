@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/scorpiondb/scorpion/internal/aggregate"
+	"github.com/scorpiondb/scorpion/internal/estimate"
 	"github.com/scorpiondb/scorpion/internal/feature"
 	"github.com/scorpiondb/scorpion/internal/influence"
 	"github.com/scorpiondb/scorpion/internal/merge"
@@ -129,6 +130,27 @@ type Request struct {
 	Shards int
 	// TopK bounds the returned explanations (default 5).
 	TopK int
+	// Epsilon, when positive, switches NAIVE and MC to the anytime path: an
+	// internal/estimate layer maintains stratified per-group row samples,
+	// brackets each candidate's influence in a [lower, upper] interval at
+	// increasing sample fractions, and escalates to the exact scorer only
+	// while the interval still overlaps the running top-k frontier. A
+	// candidate is pruned once its upper bound falls below the kth best
+	// exact score plus Epsilon, so — at the estimator's confidence — every
+	// reported rank is within Epsilon of the exact run's. Epsilon is in
+	// influence units (the same scale as Explanation.Influence). Zero (the
+	// default) runs the exact search, byte-identical to previous releases;
+	// negative values are rejected. Unsupported tasks (AVG and other
+	// non-linear aggregates, perturbation mode, DT) silently fall back to
+	// the exact path. Scores in the Result are always exact: anytime mode
+	// changes which candidates pay full scans, never the reported numbers.
+	Epsilon float64
+	// Confidence is the probability the anytime path's intervals jointly
+	// cover the true influences (so pruning errors beyond Epsilon happen
+	// with probability at most 1-Confidence). Zero means
+	// DefaultConfidence (0.95); other values must lie in (0, 1). Ignored
+	// when Epsilon is zero.
+	Confidence float64
 
 	// OnProgress, when non-nil, is invoked periodically while the search
 	// runs with a best-so-far snapshot: elapsed time, scorer calls, and the
@@ -187,6 +209,22 @@ func (r *Request) ResolvedC() float64 {
 		return DefaultC
 	}
 	return r.C
+}
+
+// DefaultConfidence is the interval confidence the anytime path uses when
+// Request.Confidence is unset.
+const DefaultConfidence = estimate.DefaultConfidence
+
+// ResolvedConfidence is the interval confidence the anytime path will use:
+// Confidence, unless it is an unset zero, in which case DefaultConfidence.
+// Unlike Lambda and C, zero is not a legal confidence, so no explicit-zero
+// setter is needed. Cache keys must use resolved values (see
+// ResolvedLambda).
+func (r *Request) ResolvedConfidence() float64 {
+	if r.Confidence == 0 {
+		return DefaultConfidence
+	}
+	return r.Confidence
 }
 
 // Explanation is one ranked answer.
@@ -262,6 +300,12 @@ type Stats struct {
 	// Shards is the number of horizontal slices the search ran across
 	// (1 = unsharded).
 	Shards int
+	// Pruned counts candidates the anytime path (Request.Epsilon > 0)
+	// discarded on a sample interval's upper bound without exact scoring;
+	// Escalated counts those that reached the exact scorer. Both are 0 on
+	// the exact path. Sharded searches sum across shards.
+	Pruned    int64
+	Escalated int64
 	// ReusedPartition reports that the search skipped re-partitioning by
 	// reusing an Explainer session's cached DT partitioning (§8.3.3) — the
 	// c-sweep fast path. Always false for one-shot Explain calls.
@@ -331,6 +375,12 @@ func explainFull(ctx context.Context, req *Request) (*Result, []partition.Candid
 	if req.Shards < 0 {
 		return nil, nil, fmt.Errorf("scorpion: shards %d must be >= 0 (0 = auto)", req.Shards)
 	}
+	if req.Epsilon < 0 {
+		return nil, nil, fmt.Errorf("scorpion: epsilon %v must be >= 0 (0 = exact)", req.Epsilon)
+	}
+	if req.Confidence != 0 && (req.Confidence <= 0 || req.Confidence >= 1) {
+		return nil, nil, fmt.Errorf("scorpion: confidence %v must lie in (0, 1)", req.Confidence)
+	}
 	scorer, space, qres, err := buildScorer(req)
 	if err != nil {
 		return nil, nil, err
@@ -371,6 +421,8 @@ func explainFull(ctx context.Context, req *Request) (*Result, []partition.Candid
 	if coord != nil {
 		res.Stats.Shards = coord.NumShards()
 	}
+	res.Stats.Pruned = outcome.Pruned
+	res.Stats.Escalated = outcome.Escalated
 	if outcome.Interrupted {
 		cause := ctx.Err()
 		if cause == nil {
@@ -572,6 +624,12 @@ func buildTopSearcher(req *Request, scorer *influence.Scorer, space *predicate.S
 				params.GridBins = req.MCParams.Bins
 			}
 		}
+		if req.Epsilon > 0 {
+			// Anytime runs also ship a full-table hold-out sketch to every
+			// shard, so shard-local rankings become penalty-aware before the
+			// TopPerShard cut (nil for unsupported tasks or no hold-outs).
+			params.Penalty = estimate.NewSketch(scorer, 0)
+		}
 		if coord := shard.NewCoordinator(scorer, space, factory, k, params); coord.NumShards() > 1 {
 			return coord, coord, nil
 		}
@@ -722,6 +780,14 @@ func buildSearcher(req *Request, scorer *influence.Scorer, space *predicate.Spac
 		if domains != nil {
 			params.Domains = domains
 		}
+		if req.Epsilon > 0 {
+			// nil when the task is unsupported (AVG, perturbation): the
+			// search then runs its exact path.
+			params.Estimator = estimate.New(scorer, estimate.Params{
+				Epsilon:    req.Epsilon,
+				Confidence: req.ResolvedConfidence(),
+			})
+		}
 		return naive.NewSearcher(scorer, space, params), nil
 
 	case DT:
@@ -745,6 +811,12 @@ func buildSearcher(req *Request, scorer *influence.Scorer, space *predicate.Spac
 		}
 		if domains != nil {
 			params.Domains = domains
+		}
+		if req.Epsilon > 0 {
+			params.Estimator = estimate.New(scorer, estimate.Params{
+				Epsilon:    req.Epsilon,
+				Confidence: req.ResolvedConfidence(),
+			})
 		}
 		return mc.NewSearcher(scorer, space, params), nil
 

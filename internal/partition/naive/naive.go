@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/scorpiondb/scorpion/internal/estimate"
 	"github.com/scorpiondb/scorpion/internal/influence"
 	"github.com/scorpiondb/scorpion/internal/partition"
 	"github.com/scorpiondb/scorpion/internal/predicate"
@@ -50,6 +51,16 @@ type Params struct {
 	// of differing by each window's local min/max. Unset (or empty-width)
 	// columns keep the local data-derived extent.
 	Domains map[int]predicate.Domain
+	// Estimator, when non-nil, switches scoring to the anytime
+	// estimate-then-escalate path: each enumerated predicate is interval-
+	// estimated at increasing sample fractions and escalates to the exact
+	// scorer only while its interval still overlaps the top-k frontier
+	// (pruned candidates cost a partial sample scan instead of a full
+	// one). Candidates are processed in deterministic enumeration-order
+	// batches with the frontier frozen per batch, so the output is
+	// identical for any worker count and across runs. The convergence
+	// Trace is not recorded on this path. Nil runs the exact search.
+	Estimator *estimate.Estimator
 }
 
 // withDefaults fills zero fields with paper defaults.
@@ -82,6 +93,11 @@ type Result struct {
 	Trace []TracePoint
 	// Enumerated counts enumerated predicates.
 	Enumerated int64
+	// Pruned counts predicates the anytime path discarded on an interval
+	// upper bound; Escalated counts those that reached the exact scorer.
+	// Both stay 0 on the exact path.
+	Pruned    int64
+	Escalated int64
 	// TimedOut reports whether the Deadline cut the search short.
 	TimedOut bool
 	// Interrupted reports whether context cancellation cut the search
@@ -136,7 +152,9 @@ func runPool(pool *partition.Pool, scorer *influence.Scorer, space *predicate.Sp
 	}
 	res := &Result{}
 
-	if pool.Workers() <= 1 {
+	if params.Estimator != nil {
+		runAnytime(e, res, pool, params, maxCard, maxClauses)
+	} else if pool.Workers() <= 1 {
 		// Serial: score inline, record the convergence trace. Every trace
 		// improvement also goes to the pool's board (when one is attached)
 		// so observers see the same best-so-far curve mid-run.

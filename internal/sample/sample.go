@@ -5,11 +5,29 @@
 package sample
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
 	"github.com/scorpiondb/scorpion/internal/relation"
 )
+
+// GroupSeed derives a deterministic sampling seed for one input group of one
+// table generation. The hash (FNV-1a, fixed basis) is stable across processes
+// and runs — unlike maphash — so two executions of the same approximate
+// request draw identical samples and return identical answers, while an
+// append (a new generation) reseeds every group. gen should identify the
+// table state (the catalog generation, or the row count as a proxy); key is
+// the group's group-by key.
+func GroupSeed(gen int64, key string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(gen))
+	h.Write(buf[:])
+	h.Write([]byte(key))
+	return int64(h.Sum64())
+}
 
 // InitialRate returns the smallest sampling rate sr such that a uniform
 // sample of sr·n tuples contains at least one member of an influential

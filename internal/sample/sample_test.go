@@ -1,6 +1,7 @@
 package sample
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -129,5 +130,63 @@ func TestSplitRatesClamping(t *testing.T) {
 	l, r = SplitRates(-10, 0, 100, 500, 500, 0)
 	if l <= r {
 		t.Errorf("negative mass ignored: %v vs %v", l, r)
+	}
+}
+
+func TestGroupSeedDeterministicAndDistinct(t *testing.T) {
+	// Same (generation, key) → same seed, every time: this is what makes two
+	// runs of the same approximate request draw identical samples. The seed
+	// is a fixed-basis FNV-1a hash, so these values are also stable across
+	// processes and builds — if this test starts failing, run-to-run answer
+	// equality of anytime searches silently broke with it.
+	if a, b := GroupSeed(1000, "12PM"), GroupSeed(1000, "12PM"); a != b {
+		t.Fatalf("GroupSeed not deterministic: %d vs %d", a, b)
+	}
+	// Different keys and different generations must disperse.
+	seen := map[int64]string{}
+	for _, gen := range []int64{100, 101, 5000} {
+		for _, key := range []string{"11AM", "12PM", "1PM", "g\x1fsub"} {
+			s := GroupSeed(gen, key)
+			at := fmt.Sprintf("gen=%d key=%q", gen, key)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %s and %s", prev, at)
+			}
+			seen[s] = at
+		}
+	}
+	// A generation bump (an append) must reseed even for the same key.
+	if GroupSeed(100, "12PM") == GroupSeed(101, "12PM") {
+		t.Fatal("generation bump did not change the seed")
+	}
+}
+
+func TestGroupSeedShuffleEquality(t *testing.T) {
+	// The regression the seed exists to prevent: two shuffles of the same
+	// rows under the same (gen, key) are identical; a new generation is not.
+	shuffle := func(gen int64, key string) []int {
+		rows := make([]int, 200)
+		for i := range rows {
+			rows[i] = i
+		}
+		rng := rand.New(rand.NewSource(GroupSeed(gen, key)))
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		return rows
+	}
+	a, b := shuffle(7, "g1"), shuffle(7, "g1")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run-to-run shuffle mismatch at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := shuffle(8, "g1")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("append generation produced an identical shuffle")
 	}
 }

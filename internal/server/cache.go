@@ -80,6 +80,13 @@ type fingerprint struct {
 	// they must not share entries. (Auto, 0, resolves per worker grant; its
 	// rare heuristic variance across grants is accepted as cache-equal.)
 	Shards int `json:"shards,omitempty"`
+	// Epsilon and Confidence shape which candidates survive the anytime
+	// path's pruning, so approximate runs never share entries with exact
+	// ones (or with runs at a different error bound). Confidence is the
+	// RESOLVED value, like Lambda and C; it is omitted entirely when
+	// Epsilon is 0 — exact requests are confidence-agnostic.
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // explainKeys derives the result-cache key, the (c-agnostic) Explainer
@@ -113,6 +120,10 @@ func explainKeys(entry *catalog.Entry, sreq *scorpion.Request) (resultKey, sessi
 		Algorithm:  sreq.Algorithm.String(),
 		TopK:       topK,
 		Shards:     sreq.Shards,
+	}
+	if sreq.Epsilon > 0 {
+		fp.Epsilon = sreq.Epsilon
+		fp.Confidence = sreq.ResolvedConfidence()
 	}
 	resultKey = keyFor(entry, &fp)
 	// Sessions cache a FULL-table DT partitioning, so any request that

@@ -382,6 +382,16 @@ type ExplainRequest struct {
 	// Explainer-session partition reuse) and per-shard best-so-far appears
 	// in job progress snapshots.
 	Shards int `json:"shards,omitempty"`
+	// Epsilon switches the search to the anytime path
+	// (scorpion.Request.Epsilon): candidates whose sampled influence
+	// interval falls more than epsilon below the running top-k frontier are
+	// pruned without exact scoring. 0 (or absent) = exact search; negative
+	// values are rejected.
+	Epsilon *float64 `json:"epsilon,omitempty"`
+	// Confidence is the anytime path's joint interval coverage
+	// (scorpion.Request.Confidence); absent = server default (0.95), other
+	// values must lie in (0, 1).
+	Confidence *float64 `json:"confidence,omitempty"`
 	// Mode selects sync (default) or "async" execution on /explain;
 	// ignored on /jobs, which is always async.
 	Mode string `json:"mode,omitempty"`
@@ -459,6 +469,12 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error
 	if req.Shards < 0 {
 		return nil, http.StatusBadRequest, fmt.Errorf("bad shards %d (want 0 = auto, 1 = unsharded, or a positive count)", req.Shards)
 	}
+	if req.Epsilon != nil && *req.Epsilon < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad epsilon %v (want >= 0; 0 = exact)", *req.Epsilon)
+	}
+	if req.Confidence != nil && (*req.Confidence <= 0 || *req.Confidence >= 1) {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad confidence %v (want a value in (0, 1))", *req.Confidence)
+	}
 	sreq := &scorpion.Request{
 		Table:            entry.Table,
 		SQL:              req.SQL,
@@ -502,6 +518,12 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error
 	}
 	if req.Lambda != nil {
 		sreq.SetLambda(*req.Lambda)
+	}
+	if req.Epsilon != nil {
+		sreq.Epsilon = *req.Epsilon
+	}
+	if req.Confidence != nil {
+		sreq.Confidence = *req.Confidence
 	}
 
 	var key, sessionKey, streamKey string
@@ -580,6 +602,10 @@ func explainResultJSON(res *scorpion.Result) map[string]any {
 	}
 	if res.Stats.Shards > 1 {
 		out["shards"] = res.Stats.Shards
+	}
+	if res.Stats.Pruned > 0 || res.Stats.Escalated > 0 {
+		out["pruned"] = res.Stats.Pruned
+		out["escalated"] = res.Stats.Escalated
 	}
 	if res.Stats.ReusedPartition {
 		out["reused_partition"] = true

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/scorpiondb/scorpion/internal/estimate"
 	"github.com/scorpiondb/scorpion/internal/influence"
 	"github.com/scorpiondb/scorpion/internal/merge"
 	"github.com/scorpiondb/scorpion/internal/partition"
@@ -57,6 +58,14 @@ type Params struct {
 	// the §6.3 cached-tuple approximation are window estimates, so the
 	// combine merge always scores exactly; UseApproximation is ignored.
 	Merge merge.Params
+	// Penalty, when non-nil, is a full-table hold-out sample sketch shipped
+	// to every shard: before the TopPerShard cut, each shard's candidates
+	// are re-ranked by their local score minus the sketch's estimate of the
+	// GLOBAL hold-out penalty they would pay. Hold-out-blind shard rankings
+	// otherwise favour the widest boxes and can push the λ-optimal
+	// candidate below the cut; the combiner's exact re-score still settles
+	// final scores, so the sketch only shapes recall, never results.
+	Penalty *estimate.Sketch
 }
 
 func (p Params) withDefaults() Params {
@@ -146,6 +155,8 @@ func (c *Coordinator) Calls() int64 {
 type shardResult struct {
 	cands       []partition.Candidate
 	work        int64
+	pruned      int64
+	escalated   int64
 	interrupted bool
 	err         error
 }
@@ -211,7 +222,7 @@ func (c *Coordinator) Search(pool *partition.Pool) (*partition.Outcome, error) {
 	wg.Wait()
 
 	var all []partition.Candidate
-	var work int64
+	var work, pruned, escalated int64
 	interrupted := false
 	searched := 0
 	for i, r := range results {
@@ -220,6 +231,8 @@ func (c *Coordinator) Search(pool *partition.Pool) (*partition.Outcome, error) {
 		}
 		all = append(all, r.cands...)
 		work += r.work
+		pruned += r.pruned
+		escalated += r.escalated
 		interrupted = interrupted || r.interrupted
 		if r.cands != nil || r.work > 0 {
 			searched++
@@ -240,6 +253,8 @@ func (c *Coordinator) Search(pool *partition.Pool) (*partition.Outcome, error) {
 	return &partition.Outcome{
 		Candidates:  cands,
 		Work:        work,
+		Pruned:      pruned,
+		Escalated:   escalated,
 		Interrupted: interrupted || pool.Cancelled(),
 	}, nil
 }
@@ -273,6 +288,28 @@ func (c *Coordinator) searchShard(i int, pool *partition.Pool, workers int) shar
 		return shardResult{err: err}
 	}
 	cands := outcome.Candidates
+	if sk := c.params.Penalty; sk != nil && len(cands) > c.params.TopPerShard {
+		// Penalty-aware cut: shard predicates transfer verbatim to the base
+		// table (shared dictionaries, raw continuous values), so the
+		// full-table sketch can estimate each candidate's global hold-out
+		// penalty before the contribution is truncated. Stable sort keeps
+		// the shard's own order among penalty ties.
+		lambda := c.scorer.Task().Lambda
+		adj := make([]float64, len(cands))
+		for j := range cands {
+			adj[j] = cands[j].Score - (1-lambda)*sk.Penalty(cands[j].Pred)
+		}
+		order := make([]int, len(cands))
+		for j := range order {
+			order[j] = j
+		}
+		sort.SliceStable(order, func(a, b int) bool { return adj[order[a]] > adj[order[b]] })
+		reranked := make([]partition.Candidate, len(cands))
+		for j, o := range order {
+			reranked[j] = cands[o]
+		}
+		cands = reranked
+	}
 	if len(cands) > c.params.TopPerShard {
 		cands = cands[:c.params.TopPerShard]
 	}
@@ -283,6 +320,8 @@ func (c *Coordinator) searchShard(i int, pool *partition.Pool, workers int) shar
 	return shardResult{
 		cands:       mapped,
 		work:        outcome.Work,
+		pruned:      outcome.Pruned,
+		escalated:   outcome.Escalated,
 		interrupted: outcome.Interrupted,
 	}
 }

@@ -52,6 +52,7 @@ import (
 	"github.com/scorpiondb/scorpion/internal/cache"
 	"github.com/scorpiondb/scorpion/internal/catalog"
 	"github.com/scorpiondb/scorpion/internal/jobs"
+	"github.com/scorpiondb/scorpion/internal/obs"
 	"github.com/scorpiondb/scorpion/internal/server"
 )
 
@@ -77,6 +78,9 @@ func main() {
 		maxUpload  = flag.Int64("max-upload", 0, "max POST /tables body bytes (0 = 256 MiB)")
 		drainTime  = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 		cacheSize  = flag.Int("cache-entries", 0, fmt.Sprintf("result-cache LRU bound (0 = default %d, negative disables caching, coalescing and session reuse)", cache.DefaultCapacity))
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		pprofOn    = flag.Bool("pprof", false, "expose the runtime profiler under /debug/pprof/")
 	)
 	flag.Var(&csvs, "csv", "dataset to serve, as name=path or path (repeatable)")
 	flag.Parse()
@@ -117,6 +121,11 @@ func main() {
 	srv.Workers = *workers
 	srv.MaxUploadBytes = *maxUpload
 	srv.ConfigureCache(*cacheSize)
+	srv.SetLogger(obs.NewLogger(os.Stderr, *logLevel, *logFormat))
+	if *pprofOn {
+		srv.EnablePprof()
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 
 	// Request contexts derive from the signal context, so a shutdown also
 	// cancels every in-flight handler; closing the server cancels queued

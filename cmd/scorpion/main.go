@@ -46,6 +46,7 @@ import (
 	"time"
 
 	scorpion "github.com/scorpiondb/scorpion"
+	"github.com/scorpiondb/scorpion/internal/obs"
 	"github.com/scorpiondb/scorpion/internal/plot"
 )
 
@@ -86,6 +87,9 @@ func run(ctx context.Context, args []string) error {
 		appendCSV = fs.String("append", "", "CSV batch of rows to append to the table before explaining")
 		follow    = fs.Bool("follow", false, "with -server: keep re-explaining as the table grows (Ctrl-C stops)")
 		noCache   = fs.Bool("no-cache", false, "with -server: bypass the server's result cache (force a cold search)")
+		traceOn   = fs.Bool("trace", false, "print the search's phase-span timeline after the results (local searches)")
+		logLevel  = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logFormat = fs.String("log-format", "text", "log output format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +111,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *serverURL != "" && *csvPath != "" {
 		return fmt.Errorf("-csv and -server are mutually exclusive (the server owns the data)")
+	}
+	if *serverURL != "" && *traceOn {
+		return fmt.Errorf("-trace applies to local searches; the server records job traces in GET /jobs/{id}")
 	}
 	if *serverURL != "" && *discrete != "" {
 		return fmt.Errorf("-discrete only applies to locally loaded CSVs; the server inferred its column kinds at load time")
@@ -268,7 +275,16 @@ func run(ctx context.Context, args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	ctx = obs.ContextWithLogger(ctx, obs.NewLogger(os.Stderr, *logLevel, *logFormat))
+	var rootSpan *obs.Span
+	if *traceOn {
+		rootSpan = obs.NewSpan("explain")
+		ctx = obs.ContextWithSpan(ctx, rootSpan)
+	}
 	res, err := scorpion.ExplainContext(ctx, req)
+	if rootSpan != nil {
+		rootSpan.End()
+	}
 	interrupted := false
 	if err != nil {
 		// A cancelled or expired search still carries the best-so-far
@@ -308,6 +324,11 @@ func run(ctx context.Context, args []string) error {
 	}
 	if interrupted {
 		fmt.Printf("search interrupted (%s); showing best results so far\n\n", res.Stats.InterruptReason)
+	}
+	if rootSpan != nil {
+		fmt.Println("phase trace:")
+		rootSpan.WriteTree(os.Stdout)
+		fmt.Println()
 	}
 	if len(res.Explanations) == 0 {
 		fmt.Println("no explanations found")

@@ -11,6 +11,7 @@ import (
 	"github.com/scorpiondb/scorpion/internal/feature"
 	"github.com/scorpiondb/scorpion/internal/influence"
 	"github.com/scorpiondb/scorpion/internal/merge"
+	"github.com/scorpiondb/scorpion/internal/obs"
 	"github.com/scorpiondb/scorpion/internal/partition"
 	"github.com/scorpiondb/scorpion/internal/partition/dt"
 	"github.com/scorpiondb/scorpion/internal/partition/mc"
@@ -381,18 +382,30 @@ func explainFull(ctx context.Context, req *Request) (*Result, []partition.Candid
 	if req.Confidence != 0 && (req.Confidence <= 0 || req.Confidence >= 1) {
 		return nil, nil, fmt.Errorf("scorpion: confidence %v must lie in (0, 1)", req.Confidence)
 	}
+	reg := obs.RegistryFrom(ctx)
+	_, planSpan := obs.StartSpan(ctx, "plan")
 	scorer, space, qres, err := buildScorer(req)
 	if err != nil {
+		planSpan.End()
 		return nil, nil, err
 	}
 	algo, err := chooseAlgorithm(req, scorer)
 	if err != nil {
+		planSpan.End()
 		return nil, nil, err
 	}
-	searcher, coord, err := buildTopSearcher(req, scorer, space, algo)
+	searcher, coord, err := buildTopSearcher(req, scorer, space, algo, reg)
 	if err != nil {
+		planSpan.End()
 		return nil, nil, err
 	}
+	planSpan.SetAttr("algorithm", algo.String())
+	planSpan.SetAttr("rows", req.Table.NumRows())
+	planSpan.SetAttr("workers", req.effectiveWorkers())
+	if coord != nil {
+		planSpan.SetAttr("shards", coord.NumShards())
+	}
+	planSpan.End()
 	calls := func() int64 {
 		n := scorer.Calls()
 		if coord != nil {
@@ -406,14 +419,25 @@ func explainFull(ctx context.Context, req *Request) (*Result, []partition.Candid
 		board = partition.NewBoard()
 		stopMonitor = watchProgress(req, calls, board, start)
 	}
-	outcome, err := partition.RunSearchObserved(ctx, req.effectiveWorkers(), board, searcher)
+	searchCtx, searchSpan := obs.StartSpan(ctx, "search")
+	searchSpan.SetAttr("algorithm", algo.String())
+	outcome, err := partition.RunSearchObserved(searchCtx, req.effectiveWorkers(), board, searcher)
 	if stopMonitor != nil {
 		stopMonitor()
 	}
+	if outcome != nil {
+		searchSpan.SetAttr("candidates", len(outcome.Candidates))
+		searchSpan.SetAttr("pruned", outcome.Pruned)
+		searchSpan.SetAttr("escalated", outcome.Escalated)
+	}
+	searchSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	_, rankSpan := obs.StartSpan(ctx, "rank")
 	res, scored := assemble(req, scorer, outcome.Candidates, qres)
+	rankSpan.SetAttr("candidates", len(scored))
+	rankSpan.End()
 	res.Stats.Algorithm = algo
 	res.Stats.Duration = time.Since(start)
 	res.Stats.ScorerCalls = calls()
@@ -430,9 +454,33 @@ func explainFull(ctx context.Context, req *Request) (*Result, []partition.Candid
 		}
 		res.Stats.Interrupted = true
 		res.Stats.InterruptReason = cause.Error()
+		recordSearchMetrics(reg, algo, res.Stats, scorer)
 		return res, scored, fmt.Errorf("scorpion: search interrupted: %w", cause)
 	}
+	recordSearchMetrics(reg, algo, res.Stats, scorer)
 	return res, scored, nil
+}
+
+// recordSearchMetrics publishes one finished search's counters into the
+// request's registry (no-op when telemetry is off). Scorers are built
+// per search, so totals are deltas; memo stats fold in the hit-rate
+// signal without touching the registry from the scoring hot path.
+func recordSearchMetrics(reg *obs.Registry, algo Algorithm, st Stats, scorer *influence.Scorer) {
+	if reg == nil {
+		return
+	}
+	label := []string{"algorithm", algo.String()}
+	reg.Counter("scorpion_search_total", label...).Inc()
+	reg.Histogram("scorpion_search_seconds", nil, label...).Observe(st.Duration.Seconds())
+	reg.Counter("scorpion_scorer_calls_total").Add(float64(st.ScorerCalls))
+	hits, misses := scorer.MemoStats()
+	reg.Counter("scorpion_scorer_memo_hits_total").Add(float64(hits))
+	reg.Counter("scorpion_scorer_memo_misses_total").Add(float64(misses))
+	reg.Counter("scorpion_anytime_pruned_total").Add(float64(st.Pruned))
+	reg.Counter("scorpion_anytime_escalated_total").Add(float64(st.Escalated))
+	if st.Interrupted {
+		reg.Counter("scorpion_search_interrupted_total", label...).Inc()
+	}
 }
 
 // watchProgress starts the OnProgress monitor goroutine: at every
@@ -584,7 +632,7 @@ func (r *Request) effectiveShards() int {
 // algorithm searcher, or — when the request shards — a shard.Coordinator
 // fanning that same algorithm across horizontal table slices. The returned
 // coordinator is nil for unsharded searches.
-func buildTopSearcher(req *Request, scorer *influence.Scorer, space *predicate.Space, algo Algorithm) (partition.Searcher, *shard.Coordinator, error) {
+func buildTopSearcher(req *Request, scorer *influence.Scorer, space *predicate.Space, algo Algorithm, reg *obs.Registry) (partition.Searcher, *shard.Coordinator, error) {
 	if k := req.effectiveShards(); k > 1 {
 		factory := func(sc *influence.Scorer, sp *predicate.Space, domains map[int]predicate.Domain) (partition.Searcher, error) {
 			r := req
@@ -602,7 +650,7 @@ func buildTopSearcher(req *Request, scorer *influence.Scorer, space *predicate.S
 				rc.NaiveParams = &params
 				r = &rc
 			}
-			return buildSearcher(r, sc, sp, algo, domains)
+			return buildSearcher(r, sc, sp, algo, domains, reg)
 		}
 		params := shard.Params{}
 		if req.MergeParams != nil {
@@ -636,7 +684,7 @@ func buildTopSearcher(req *Request, scorer *influence.Scorer, space *predicate.S
 		// The planner collapsed to one slice (tiny table or concentrated
 		// outliers): run unsharded.
 	}
-	s, err := buildSearcher(req, scorer, space, algo, nil)
+	s, err := buildSearcher(req, scorer, space, algo, nil, reg)
 	return s, nil, err
 }
 
@@ -770,7 +818,7 @@ func chooseAlgorithm(req *Request, scorer *influence.Scorer) (Algorithm, error) 
 // non-nil, pins the continuous clause-grid extents (a shard-local searcher
 // receives the global outlier extents so every shard enumerates the grid
 // the unsharded search would).
-func buildSearcher(req *Request, scorer *influence.Scorer, space *predicate.Space, algo Algorithm, domains map[int]predicate.Domain) (partition.Searcher, error) {
+func buildSearcher(req *Request, scorer *influence.Scorer, space *predicate.Space, algo Algorithm, domains map[int]predicate.Domain, reg *obs.Registry) (partition.Searcher, error) {
 	switch algo {
 	case Naive:
 		params := naive.Params{}
@@ -786,6 +834,7 @@ func buildSearcher(req *Request, scorer *influence.Scorer, space *predicate.Spac
 			params.Estimator = estimate.New(scorer, estimate.Params{
 				Epsilon:    req.Epsilon,
 				Confidence: req.ResolvedConfidence(),
+				Metrics:    reg,
 			})
 		}
 		return naive.NewSearcher(scorer, space, params), nil
@@ -816,6 +865,7 @@ func buildSearcher(req *Request, scorer *influence.Scorer, space *predicate.Spac
 			params.Estimator = estimate.New(scorer, estimate.Params{
 				Epsilon:    req.Epsilon,
 				Confidence: req.ResolvedConfidence(),
+				Metrics:    reg,
 			})
 		}
 		return mc.NewSearcher(scorer, space, params), nil

@@ -8,6 +8,7 @@ import (
 
 	"github.com/scorpiondb/scorpion/internal/influence"
 	"github.com/scorpiondb/scorpion/internal/merge"
+	"github.com/scorpiondb/scorpion/internal/obs"
 	"github.com/scorpiondb/scorpion/internal/partition"
 	"github.com/scorpiondb/scorpion/internal/partition/dt"
 	"github.com/scorpiondb/scorpion/internal/predicate"
@@ -115,6 +116,13 @@ func (e *Explainer) ExplainCContext(ctx context.Context, c float64) (*Result, er
 	reused := e.part != nil
 	r := e.req
 	r.SetC(c)
+	reg := obs.RegistryFrom(ctx)
+	// Session runs skip the "plan" phase (the plan is the cached state);
+	// the search span records whether the run was warm instead.
+	searchCtx, searchSpan := obs.StartSpan(ctx, "search")
+	searchSpan.SetAttr("algorithm", "dt-session")
+	searchSpan.SetAttr("c", c)
+	searchSpan.SetAttr("reused_partition", reused)
 
 	var board *partition.Board
 	var stopMonitor func()
@@ -125,13 +133,16 @@ func (e *Explainer) ExplainCContext(ctx context.Context, c float64) (*Result, er
 		// total, or mid-run polls would contradict the final Stats.
 		stopMonitor = watchProgress(&r, func() int64 { return e.scorer.Calls() - callsBefore }, board, start)
 	}
-	outcome, err := partition.RunSearchObserved(ctx, r.effectiveWorkers(), board, &sessionSearcher{e: e, c: c})
+	outcome, err := partition.RunSearchObserved(searchCtx, r.effectiveWorkers(), board, &sessionSearcher{e: e, c: c})
 	if stopMonitor != nil {
 		stopMonitor()
 	}
 	if err != nil {
+		searchSpan.End()
 		return nil, err
 	}
+	searchSpan.SetAttr("candidates", len(outcome.Candidates))
+	searchSpan.End()
 	// One exact re-scoring pass feeds both the response and the seed
 	// cache: the stored seeds are this run's strongest distinct
 	// predicates under their EXACT scores (present never mutates the
@@ -140,7 +151,9 @@ func (e *Explainer) ExplainCContext(ctx context.Context, c float64) (*Result, er
 	if !outcome.Interrupted {
 		e.storeMerged(c, scored)
 	}
+	_, rankSpan := obs.StartSpan(ctx, "rank")
 	res := present(&r, e.scorer, scored, e.qres)
+	rankSpan.End()
 	res.Stats.Algorithm = DT
 	res.Stats.Duration = time.Since(start)
 	res.Stats.ScorerCalls = e.scorer.Calls() - callsBefore
@@ -152,8 +165,10 @@ func (e *Explainer) ExplainCContext(ctx context.Context, c float64) (*Result, er
 		}
 		res.Stats.Interrupted = true
 		res.Stats.InterruptReason = cause.Error()
+		recordSearchMetrics(reg, DT, res.Stats, e.scorer)
 		return res, fmt.Errorf("scorpion: search interrupted: %w", cause)
 	}
+	recordSearchMetrics(reg, DT, res.Stats, e.scorer)
 	return res, nil
 }
 

@@ -22,6 +22,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"github.com/scorpiondb/scorpion/internal/obs"
 )
 
 // DefaultCapacity is the entry bound used when New receives a
@@ -197,6 +199,37 @@ func (c *Cache) Stats() Stats {
 		Bytes:         c.bytes,
 		Capacity:      c.capacity,
 	}
+}
+
+// RegisterMetrics wires the cache's counters into a registry as
+// scrape-time collectors: the cache keeps its cheap private counters on
+// the serving path, and every exposition reads one consistent Stats
+// snapshot — no double accounting, no per-Get registry traffic. The name
+// label distinguishes multiple caches in one process.
+func (c *Cache) RegisterMetrics(reg *obs.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterFunc(func(emit obs.EmitFunc) { c.EmitMetrics(emit, name) })
+}
+
+// EmitMetrics emits one consistent Stats snapshot through emit. Callers
+// whose cache pointer can be swapped at runtime (the server's
+// ConfigureCache) register their own collector func and call this on
+// whichever cache is current — RegisterMetrics would pin the original
+// pointer forever. Safe on a nil receiver (emits nothing).
+func (c *Cache) EmitMetrics(emit obs.EmitFunc, name string) {
+	if c == nil {
+		return
+	}
+	st := c.Stats()
+	emit("scorpion_cache_hits_total", "counter", float64(st.Hits), "cache", name)
+	emit("scorpion_cache_misses_total", "counter", float64(st.Misses), "cache", name)
+	emit("scorpion_cache_coalesced_total", "counter", float64(st.Coalesced), "cache", name)
+	emit("scorpion_cache_evictions_total", "counter", float64(st.Evictions), "cache", name)
+	emit("scorpion_cache_invalidations_total", "counter", float64(st.Invalidations), "cache", name)
+	emit("scorpion_cache_entries", "gauge", float64(st.Entries), "cache", name)
+	emit("scorpion_cache_bytes", "gauge", float64(st.Bytes), "cache", name)
 }
 
 // --- flights (request coalescing) --------------------------------------

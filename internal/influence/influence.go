@@ -161,12 +161,19 @@ type Scorer struct {
 const cacheShards = 64
 
 // scoreCache is a sharded, synchronized string→float64 memo table.
+// Hit/miss counters are striped per shard (the shard struct is already a
+// contention domain), so the memo hit rate is observable without adding
+// a shared cache-line to the scoring hot path.
 type scoreCache struct {
 	seed   maphash.Seed
-	shards [cacheShards]struct {
-		mu sync.RWMutex
-		m  map[string]float64
-	}
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu     sync.RWMutex
+	m      map[string]float64
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 func (c *scoreCache) init() {
@@ -176,10 +183,7 @@ func (c *scoreCache) init() {
 	}
 }
 
-func (c *scoreCache) shard(key string) *struct {
-	mu sync.RWMutex
-	m  map[string]float64
-} {
+func (c *scoreCache) shard(key string) *cacheShard {
 	return &c.shards[maphash.String(c.seed, key)%cacheShards]
 }
 
@@ -188,7 +192,20 @@ func (c *scoreCache) get(key string) (float64, bool) {
 	sh.mu.RLock()
 	v, ok := sh.m[key]
 	sh.mu.RUnlock()
+	if ok {
+		sh.hits.Add(1)
+	} else {
+		sh.misses.Add(1)
+	}
 	return v, ok
+}
+
+func (c *scoreCache) stats() (hits, misses int64) {
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits, misses
 }
 
 func (c *scoreCache) put(key string, v float64) {
@@ -293,6 +310,11 @@ func (s *Scorer) Incremental() bool { return s.rem != nil }
 // optimization experiments and by the serving layer to demonstrate
 // §8.3.3 partition reuse (a reused partitioning skips all re-labeling).
 func (s *Scorer) Calls() int64 { return s.calls.Load() }
+
+// MemoStats reports memo-cache hits and misses across all shards. The
+// hit rate (hits / (hits+misses)) is the serving-layer signal for how
+// much revisiting (merge expansions, refinement re-scores) a search did.
+func (s *Scorer) MemoStats() (hits, misses int64) { return s.cache.stats() }
 
 // OutlierResult returns the cached original aggregate value of outlier i.
 func (s *Scorer) OutlierResult(i int) float64 { return s.outOrig[i] }

@@ -25,6 +25,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"github.com/scorpiondb/scorpion/internal/obs"
 )
 
 // Status is a job's lifecycle state.
@@ -67,6 +69,9 @@ type Task struct {
 	Kind string
 	// Table names the dataset the job runs against; informational.
 	Table string
+	// RequestID is the originating request's correlation id (the HTTP
+	// X-Request-ID); informational, echoed in views and logs.
+	RequestID string
 	// Workers is the requested worker budget. It is clamped to
 	// [1, scheduler budget] at admission; the granted value is what Run
 	// receives.
@@ -138,6 +143,16 @@ type View struct {
 	Finished time.Time
 	// Workers is the granted budget (0 while queued).
 	Workers int
+	// RequestID is the submitting request's correlation id, if any.
+	RequestID string
+	// QueuedFor is how long the job waited for admission: started-created
+	// once running, finished-created for jobs canceled while queued, and
+	// elapsed-so-far while still waiting. It separates admission stalls
+	// from slow searches when diagnosing timeouts.
+	QueuedFor time.Duration
+	// RanFor is the run duration: finished-started once terminal,
+	// elapsed-so-far while running, 0 for jobs that never started.
+	RanFor time.Duration
 	// QueuePos is the job's 1-based position in the admission queue while
 	// Status is queued (1 = next to be admitted); 0 otherwise. Filled by
 	// Scheduler.Jobs and Scheduler.ViewOf — a Job alone cannot know it.
@@ -154,19 +169,37 @@ type View struct {
 func (j *Job) View() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return View{
-		ID:       j.id,
-		Kind:     j.task.Kind,
-		Table:    j.task.Table,
-		Status:   j.status,
-		Created:  j.created,
-		Started:  j.started,
-		Finished: j.finished,
-		Workers:  j.granted,
-		Progress: j.progress,
-		Result:   j.result,
-		Err:      j.err,
+	v := View{
+		ID:        j.id,
+		Kind:      j.task.Kind,
+		Table:     j.task.Table,
+		Status:    j.status,
+		Created:   j.created,
+		Started:   j.started,
+		Finished:  j.finished,
+		Workers:   j.granted,
+		RequestID: j.task.RequestID,
+		Progress:  j.progress,
+		Result:    j.result,
+		Err:       j.err,
 	}
+	now := time.Now()
+	switch {
+	case !j.started.IsZero():
+		v.QueuedFor = j.started.Sub(j.created)
+		if !j.finished.IsZero() {
+			v.RanFor = j.finished.Sub(j.started)
+		} else {
+			v.RanFor = now.Sub(j.started)
+		}
+	case !j.finished.IsZero():
+		// Terminal without ever running (canceled while queued, or an
+		// instant cache-hit job): the whole lifetime was queue wait.
+		v.QueuedFor = j.finished.Sub(j.created)
+	default:
+		v.QueuedFor = now.Sub(j.created)
+	}
+	return v
 }
 
 // report stores the latest progress snapshot.
@@ -184,6 +217,8 @@ type Scheduler struct {
 	retain   int
 	baseCtx  context.Context
 	stop     context.CancelFunc
+
+	met metrics
 
 	mu       sync.Mutex
 	closed   bool
@@ -233,6 +268,47 @@ func New(opts Options) *Scheduler {
 	}
 }
 
+// metrics holds the scheduler's pre-resolved instruments; the zero value
+// (telemetry off) is all nil and every operation no-ops.
+type metrics struct {
+	submitted *obs.Counter
+	queueWait *obs.Histogram
+	runTime   *obs.Histogram
+	reg       *obs.Registry
+}
+
+// SetRegistry wires the scheduler into a metrics registry: admission,
+// rejection (429) and completion counters, queue-wait and run-time
+// histograms, and scrape-time queue-depth / in-use-worker gauges. Call
+// once, before serving traffic.
+func (s *Scheduler) SetRegistry(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.met = metrics{
+		submitted: reg.Counter("scorpion_jobs_submitted_total"),
+		queueWait: reg.Histogram("scorpion_jobs_queue_wait_seconds", nil),
+		runTime:   reg.Histogram("scorpion_jobs_run_seconds", nil),
+		reg:       reg,
+	}
+	reg.RegisterFunc(func(emit obs.EmitFunc) {
+		s.mu.Lock()
+		depth, inUse := len(s.queue), s.inUse
+		s.mu.Unlock()
+		emit("scorpion_jobs_queue_depth", "gauge", float64(depth))
+		emit("scorpion_jobs_workers_in_use", "gauge", float64(inUse))
+		emit("scorpion_jobs_worker_budget", "gauge", float64(s.budget))
+	})
+}
+
+// Closed reports whether the scheduler has been shut down (used by
+// liveness probes).
+func (s *Scheduler) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Budget returns the global worker budget.
 func (s *Scheduler) Budget() int { return s.budget }
 
@@ -261,11 +337,14 @@ func (s *Scheduler) Submit(task Task) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		s.met.reg.Counter("scorpion_jobs_rejected_total", "reason", "closed").Inc()
 		return nil, ErrClosed
 	}
 	if len(s.queue) >= s.queueCap {
+		s.met.reg.Counter("scorpion_jobs_rejected_total", "reason", "queue_full").Inc()
 		return nil, ErrQueueFull
 	}
+	s.met.submitted.Inc()
 	job := s.newJobLocked(task)
 	s.queue = append(s.queue, job)
 	s.pruneLocked()
@@ -502,6 +581,7 @@ func (s *Scheduler) dispatchLocked() {
 		head.status = StatusRunning
 		head.granted = grant
 		head.started = time.Now()
+		s.met.queueWait.Observe(head.started.Sub(head.created).Seconds())
 		head.mu.Unlock()
 		go s.run(head, grant)
 	}
@@ -546,6 +626,12 @@ func (s *Scheduler) finalizeLocked(job *Job, result any, err error, status Statu
 	job.result = result
 	job.err = err
 	job.finished = time.Now()
+	if !job.started.IsZero() {
+		s.met.runTime.Observe(job.finished.Sub(job.started).Seconds())
+	}
+	if !job.instant {
+		s.met.reg.Counter("scorpion_jobs_completed_total", "status", string(status)).Inc()
+	}
 	job.mu.Unlock()
 	// Release the job's context so it deregisters from baseCtx — without
 	// this every completed job would stay in baseCtx's children for the

@@ -512,3 +512,54 @@ func TestQueuePosition(t *testing.T) {
 		t.Errorf("terminal job position = %d, want 0", got)
 	}
 }
+
+// TestViewQueuedRunningSplit is the regression test for the
+// queued_ms/running_ms split: a job stuck behind a full budget accrues
+// queue wait with NO run time, a running job accrues live run time, and a
+// finished job freezes both — queue wait must never bleed into run time.
+func TestViewQueuedRunningSplit(t *testing.T) {
+	s := New(Options{Budget: 1, QueueCap: 8})
+	defer s.Close()
+	release := make(chan struct{})
+	var running, maxRunning atomic.Int64
+	first, err := s.Submit(blockingTask(1, release, &running, &maxRunning))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, first, StatusRunning)
+	second, err := s.Submit(blockingTask(1, release, &running, &maxRunning))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	v := second.View()
+	if v.Status != StatusQueued {
+		t.Fatalf("second job status = %s, want queued", v.Status)
+	}
+	if v.QueuedFor <= 0 {
+		t.Errorf("queued job QueuedFor = %s, want > 0", v.QueuedFor)
+	}
+	if v.RanFor != 0 {
+		t.Errorf("queued job RanFor = %s, want 0", v.RanFor)
+	}
+
+	rv := first.View()
+	if rv.RanFor <= 0 {
+		t.Errorf("running job RanFor = %s, want live elapsed > 0", rv.RanFor)
+	}
+
+	close(release)
+	waitStatus(t, second, StatusDone)
+	dv := second.View()
+	if dv.QueuedFor <= 0 || dv.RanFor < 0 {
+		t.Errorf("done job QueuedFor = %s RanFor = %s", dv.QueuedFor, dv.RanFor)
+	}
+	if dv.QueuedFor < v.QueuedFor {
+		t.Errorf("final QueuedFor %s shrank below mid-queue reading %s", dv.QueuedFor, v.QueuedFor)
+	}
+	// Frozen once terminal: two views must agree.
+	if dv2 := second.View(); dv2.QueuedFor != dv.QueuedFor || dv2.RanFor != dv.RanFor {
+		t.Errorf("terminal view not frozen: %s/%s vs %s/%s", dv.QueuedFor, dv.RanFor, dv2.QueuedFor, dv2.RanFor)
+	}
+}

@@ -1,0 +1,452 @@
+// Package obs is the telemetry spine for the whole serving path: a
+// stdlib-only metrics registry (counters, gauges, histograms with
+// Prometheus-text and JSON exposition), lightweight phase spans with
+// parent/child links, and log/slog helpers for request-scoped logging.
+//
+// Everything is nil-safe by design: a nil *Registry hands out nil
+// instruments, and every method on a nil instrument or nil *Span is a
+// no-op. Code under instrumentation therefore never branches on "is
+// telemetry on" — it calls through unconditionally, and the disabled
+// path costs one nil check per call site.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric families. Instruments are created on first
+// use and live for the registry's lifetime; repeated lookups with the
+// same name and labels return the same instrument.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // insertion-ordered family names
+	funcs    []func(emit EmitFunc)
+}
+
+// EmitFunc receives one sample from a scrape-time collector. Labels are
+// alternating key, value pairs.
+type EmitFunc func(name, typ string, value float64, labels ...string)
+
+type family struct {
+	name   string
+	typ    string // "counter", "gauge", "histogram"
+	mu     sync.Mutex
+	series map[string]metric // label-key -> instrument
+	keys   []string          // insertion-ordered label keys
+}
+
+type metric interface {
+	labelPairs() []string
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return &Registry{families: map[string]*family{}} }
+
+func (r *Registry) family(name, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, typ: typ, series: map[string]metric{}}
+		r.families[name] = f
+		r.names = append(r.names, name)
+	}
+	return f
+}
+
+// RegisterFunc adds a scrape-time collector: fn is invoked on every
+// exposition and emits samples for state owned elsewhere (queue depths,
+// cache counters) without double-counting into registry instruments.
+func (r *Registry) RegisterFunc(fn func(emit EmitFunc)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs = append(r.funcs, fn)
+	r.mu.Unlock()
+}
+
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		labels = append(labels[:len(labels):len(labels)], "")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(p.v))
+	}
+	return b.String()
+}
+
+func (f *family) lookup(labels []string, make func(pairs []string) metric) metric {
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.series[key]
+	if !ok {
+		m = make(append([]string(nil), labels...))
+		f.series[key] = m
+		f.keys = append(f.keys, key)
+	}
+	return m
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	bits  atomic.Uint64 // float64 bits
+	pairs []string
+}
+
+func (c *Counter) labelPairs() []string { return c.pairs }
+
+// Counter returns (creating if needed) the counter with the given name
+// and alternating label key/value pairs. Nil-safe.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.family(name, "counter").lookup(labels, func(p []string) metric { return &Counter{pairs: p} })
+	c, _ := m.(*Counter)
+	return c
+}
+
+// Add increments the counter by n (negative deltas are ignored). No-op
+// on a nil counter.
+func (c *Counter) Add(n float64) {
+	if c == nil || n < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + n)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits  atomic.Uint64
+	pairs []string
+}
+
+func (g *Gauge) labelPairs() []string { return g.pairs }
+
+// Gauge returns (creating if needed) the gauge with the given name and
+// labels. Nil-safe.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.family(name, "gauge").lookup(labels, func(p []string) metric { return &Gauge{pairs: p} })
+	g, _ := m.(*Gauge)
+	return g
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (which may be negative). No-op on nil.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefBuckets are the default histogram buckets, tuned for latencies in
+// seconds (the same spread Prometheus clients default to).
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram counts observations into cumulative buckets.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // one per bound, plus +Inf at the end
+	sumBits atomic.Uint64
+	pairs   []string
+}
+
+func (h *Histogram) labelPairs() []string { return h.pairs }
+
+// Histogram returns (creating if needed) a histogram with the given
+// bucket upper bounds (DefBuckets if nil) and labels. Nil-safe.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.family(name, "histogram").lookup(labels, func(p []string) metric {
+		b := buckets
+		if len(b) == 0 {
+			b = DefBuckets
+		}
+		bounds := append([]float64(nil), b...)
+		sort.Float64s(bounds)
+		return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1), pairs: p}
+	})
+	h, _ := m.(*Histogram)
+	return h
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (families sorted by name, series by label key).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make(map[string]*family, len(names))
+	for _, n := range names {
+		fams[n] = r.families[n]
+	}
+	funcs := append([]func(emit EmitFunc){}, r.funcs...)
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		f.mu.Lock()
+		keys := append([]string(nil), f.keys...)
+		series := make(map[string]metric, len(keys))
+		for _, k := range keys {
+			series[k] = f.series[k]
+		}
+		f.mu.Unlock()
+		sort.Strings(keys)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, k := range keys {
+			switch m := series[k].(type) {
+			case *Counter:
+				writeSample(w, f.name, k, m.Value())
+			case *Gauge:
+				writeSample(w, f.name, k, m.Value())
+			case *Histogram:
+				var cum uint64
+				for i, b := range m.bounds {
+					cum += m.counts[i].Load()
+					writeSample(w, f.name+"_bucket", mergeKey(k, "le", strconv.FormatFloat(b, 'g', -1, 64)), float64(cum))
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				writeSample(w, f.name+"_bucket", mergeKey(k, "le", "+Inf"), float64(cum))
+				writeSample(w, f.name+"_sum", k, m.Sum())
+				writeSample(w, f.name+"_count", k, float64(cum))
+			}
+		}
+	}
+
+	// Scrape-time collectors, grouped per family in emission order.
+	type sample struct {
+		key string
+		val float64
+	}
+	extra := map[string][]sample{}
+	extraTyp := map[string]string{}
+	var extraNames []string
+	emit := func(name, typ string, value float64, labels ...string) {
+		if _, ok := extraTyp[name]; !ok {
+			extraTyp[name] = typ
+			extraNames = append(extraNames, name)
+		}
+		extra[name] = append(extra[name], sample{labelKey(labels), value})
+	}
+	for _, fn := range funcs {
+		fn(emit)
+	}
+	sort.Strings(extraNames)
+	for _, n := range extraNames {
+		fmt.Fprintf(w, "# TYPE %s %s\n", n, extraTyp[n])
+		for _, s := range extra[n] {
+			writeSample(w, n, s.key, s.val)
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name, key string, v float64) {
+	if key == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+	} else {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, key, formatValue(v))
+	}
+}
+
+func mergeKey(key, k, v string) string {
+	p := k + "=" + strconv.Quote(v)
+	if key == "" {
+		return p
+	}
+	return key + "," + p
+}
+
+// Snapshot returns the registry as a JSON-ready map:
+// family name -> series label key ("" for unlabelled) -> value. Histograms
+// render as {count, sum, buckets}.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make(map[string]*family, len(names))
+	for _, n := range names {
+		fams[n] = r.families[n]
+	}
+	funcs := append([]func(emit EmitFunc){}, r.funcs...)
+	r.mu.Unlock()
+	for _, n := range names {
+		f := fams[n]
+		f.mu.Lock()
+		keys := append([]string(nil), f.keys...)
+		series := make(map[string]metric, len(keys))
+		for _, k := range keys {
+			series[k] = f.series[k]
+		}
+		f.mu.Unlock()
+		fam := map[string]any{}
+		for _, k := range keys {
+			label := k
+			if label == "" {
+				label = "_"
+			}
+			switch m := series[k].(type) {
+			case *Counter:
+				fam[label] = m.Value()
+			case *Gauge:
+				fam[label] = m.Value()
+			case *Histogram:
+				buckets := map[string]uint64{}
+				var cum uint64
+				for i, b := range m.bounds {
+					cum += m.counts[i].Load()
+					buckets[strconv.FormatFloat(b, 'g', -1, 64)] = cum
+				}
+				fam[label] = map[string]any{
+					"count":   m.Count(),
+					"sum":     m.Sum(),
+					"buckets": buckets,
+				}
+			}
+		}
+		out[n] = fam
+	}
+	emit := func(name, typ string, value float64, labels ...string) {
+		fam, _ := out[name].(map[string]any)
+		if fam == nil {
+			fam = map[string]any{}
+			out[name] = fam
+		}
+		label := labelKey(labels)
+		if label == "" {
+			label = "_"
+		}
+		fam[label] = value
+	}
+	for _, fn := range funcs {
+		fn(emit)
+	}
+	return out
+}
+
+// WriteJSON writes the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from parallel workers;
+// run under -race this is the data-race gate for the whole package.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc(func(emit EmitFunc) {
+		emit("scrape_side", "gauge", 7, "k", "v")
+	})
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := []string{"worker", string(rune('a' + w%4))}
+			for i := 0; i < iters; i++ {
+				r.Counter("hammer_total", label...).Inc()
+				r.Gauge("hammer_gauge").Add(1)
+				r.Histogram("hammer_seconds", nil).Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("hammer_total", "worker", l).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("counter total = %v, want %d", total, workers*iters)
+	}
+	if got := r.Gauge("hammer_gauge").Value(); got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("hammer_seconds", nil).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestPrometheusGolden pins the text exposition format exactly.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_requests_total", "route", "/explain", "status", "200").Add(3)
+	r.Counter("zz_requests_total", "route", "/tables", "status", "200").Inc()
+	r.Gauge("aa_queue_depth").Set(2)
+	h := r.Histogram("mm_wait_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.RegisterFunc(func(emit EmitFunc) {
+		emit("ff_cache_hits_total", "counter", 9)
+	})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE aa_queue_depth gauge
+aa_queue_depth 2
+# TYPE mm_wait_seconds histogram
+mm_wait_seconds_bucket{le="0.1"} 1
+mm_wait_seconds_bucket{le="1"} 2
+mm_wait_seconds_bucket{le="+Inf"} 3
+mm_wait_seconds_sum 5.55
+mm_wait_seconds_count 3
+# TYPE zz_requests_total counter
+zz_requests_total{route="/explain",status="200"} 3
+zz_requests_total{route="/tables",status="200"} 1
+# TYPE ff_cache_hits_total counter
+ff_cache_hits_total 9
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	snap := r.Snapshot()
+	fam, ok := snap["zz_requests_total"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot missing zz_requests_total: %v", snap)
+	}
+	if v := fam[`route="/explain",status="200"`]; v != 3.0 {
+		t.Fatalf("snapshot counter = %v, want 3", v)
+	}
+	if fam, ok := snap["ff_cache_hits_total"].(map[string]any); !ok || fam["_"] != 9.0 {
+		t.Fatalf("snapshot func metric = %v", snap["ff_cache_hits_total"])
+	}
+}
+
+// TestNilSafety exercises every instrument and span method through nil
+// receivers: the telemetry-off path must never panic and never allocate.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", nil)
+	var s *Span
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	s.SetAttr("k", 1)
+	s.End()
+	if s.Child("c") != nil {
+		t.Fatal("nil span Child should be nil")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if SpanFrom(ctx) != nil || RegistryFrom(ctx) != nil || RequestID(ctx) != "" {
+		t.Fatal("empty context must read as telemetry-off")
+	}
+	ctx2, sp := StartSpan(ctx, "phase")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without a root must be a no-op")
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		_, sp := StartSpan(ctx, "phase")
+		sp.SetAttr("k", nil)
+		sp.End()
+		c.Inc()
+		h.Observe(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry-off path allocates %v times per op, want 0", allocs)
+	}
+	LoggerFrom(ctx).Debug("discarded")
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+type registryCtxKey struct{}
+type loggerCtxKey struct{}
+type requestIDCtxKey struct{}
+
+// ContextWithRegistry returns ctx carrying the metrics registry.
+func ContextWithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryCtxKey{}, r)
+}
+
+// RegistryFrom returns the registry in ctx, or nil (all registry
+// operations on nil are no-ops).
+func RegistryFrom(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(registryCtxKey{}).(*Registry)
+	return r
+}
+
+var discard = slog.New(slog.DiscardHandler)
+
+// ContextWithLogger returns ctx carrying a request-scoped logger.
+func ContextWithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerCtxKey{}, l)
+}
+
+// LoggerFrom returns the logger in ctx, or a discard logger so callers
+// can log unconditionally.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	if ctx == nil {
+		return discard
+	}
+	if l, ok := ctx.Value(loggerCtxKey{}).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return discard
+}
+
+// ContextWithRequestID returns ctx carrying the request ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDCtxKey{}, id)
+}
+
+// RequestID returns the request ID in ctx, or "".
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDCtxKey{}).(string)
+	return id
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level (default info).
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger builds a slog.Logger writing to w in the given format
+// ("json" or text) at the given level string.
+func NewLogger(w io.Writer, level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: ParseLevel(level)}
+	var h slog.Handler
+	if strings.EqualFold(strings.TrimSpace(format), "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxChildren caps the fan-out recorded under one span so batch loops
+// (NAIVE flushes, MC generations) cannot grow a trace without bound.
+// Further children are counted, not stored.
+const maxChildren = 64
+
+// Span is one timed phase in a trace tree. All methods are safe on a
+// nil receiver and safe for concurrent use, so instrumented code calls
+// through unconditionally: when tracing is off every call is a no-op.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+	dropped  int
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string
+	Val any
+}
+
+type spanCtxKey struct{}
+
+// NewSpan starts a root span. Callers that want tracing create the root
+// and thread it via ContextWithSpan; everything downstream uses
+// StartSpan/Child and stays no-op when no root was installed.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// ContextWithSpan returns ctx carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom returns the current span in ctx, or nil when tracing is off.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of the current span in ctx and returns a
+// derived context carrying it. When ctx has no span (tracing off) it
+// returns ctx unchanged and a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.Child(name)
+	return ContextWithSpan(ctx, child), child
+}
+
+// Child starts and attaches a child span. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	if len(s.children) < maxChildren {
+		s.children = append(s.children, child)
+	} else {
+		s.dropped++
+		child = nil
+	}
+	s.mu.Unlock()
+	if child == nil {
+		return nil
+	}
+	return child
+}
+
+// SetAttr annotates the span. No-op on nil.
+func (s *Span) SetAttr(key string, val any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Val = val
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	s.mu.Unlock()
+}
+
+// End marks the span finished. Idempotent; no-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns end-start (or elapsed-so-far for a live span).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// Node is the serializable form of a span subtree. StartMS is the
+// offset from the snapshot root's start time.
+type Node struct {
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Dropped    int            `json:"dropped_children,omitempty"`
+	Children   []Node         `json:"children,omitempty"`
+}
+
+// Snapshot renders the span subtree rooted at s, with start offsets
+// relative to s. Returns nil for a nil span.
+func (s *Span) Snapshot() *Node {
+	if s == nil {
+		return nil
+	}
+	n := s.snapshot(s.start)
+	return &n
+}
+
+func (s *Span) snapshot(origin time.Time) Node {
+	s.mu.Lock()
+	end := s.end
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	dropped := s.dropped
+	s.mu.Unlock()
+	if end.IsZero() {
+		end = time.Now()
+	}
+	n := Node{
+		Name:       s.name,
+		StartMS:    roundMS(s.start.Sub(origin)),
+		DurationMS: roundMS(end.Sub(s.start)),
+		Dropped:    dropped,
+	}
+	if len(attrs) > 0 {
+		n.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			n.Attrs[a.Key] = a.Val
+		}
+	}
+	for _, c := range children {
+		n.Children = append(n.Children, c.snapshot(origin))
+	}
+	return n
+}
+
+func roundMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// WriteTree prints an indented rendering of the subtree with durations
+// and attrs, for the CLI's -trace flag. No-op on nil.
+func (s *Span) WriteTree(w io.Writer) {
+	n := s.Snapshot()
+	if n == nil {
+		return
+	}
+	writeNode(w, n, 0)
+}
+
+func writeNode(w io.Writer, n *Node, depth int) {
+	for i := 0; i < depth; i++ {
+		fmt.Fprint(w, "  ")
+	}
+	fmt.Fprintf(w, "%s %.3fms", n.Name, n.DurationMS)
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(w, " {")
+		for i, k := range keys {
+			if i > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%s=%v", k, n.Attrs[k])
+		}
+		fmt.Fprint(w, "}")
+	}
+	if n.Dropped > 0 {
+		fmt.Fprintf(w, " (+%d dropped)", n.Dropped)
+	}
+	fmt.Fprintln(w)
+	for i := range n.Children {
+		writeNode(w, &n.Children[i], depth+1)
+	}
+}
+
+// Find returns the first node named name in a depth-first walk of the
+// snapshot, or nil. Test helper for asserting trace structure.
+func (n *Node) Find(name string) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for i := range n.Children {
+		if m := n.Children[i].Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("explain")
+	ctx := ContextWithSpan(context.Background(), root)
+	if SpanFrom(ctx) != root {
+		t.Fatal("SpanFrom should return the installed root")
+	}
+
+	ctx2, plan := StartSpan(ctx, "plan")
+	plan.SetAttr("shards", 4)
+	plan.End()
+	if SpanFrom(ctx2) != plan {
+		t.Fatal("StartSpan must install the child as current")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := root.Child("shard.search")
+			s.SetAttr("work", 10)
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.Child("combine").End()
+	root.End()
+
+	n := root.Snapshot()
+	if n.Name != "explain" {
+		t.Fatalf("root name = %q", n.Name)
+	}
+	if len(n.Children) != 6 {
+		t.Fatalf("children = %d, want 6", len(n.Children))
+	}
+	if n.Children[0].Name != "plan" || n.Children[0].Attrs["shards"] != 4 {
+		t.Fatalf("plan child wrong: %+v", n.Children[0])
+	}
+	if n.Find("combine") == nil || n.Find("shard.search") == nil {
+		t.Fatal("Find missed recorded children")
+	}
+	if n.Find("nope") != nil {
+		t.Fatal("Find invented a node")
+	}
+	for _, c := range n.Children {
+		if c.StartMS < 0 || c.DurationMS < 0 {
+			t.Fatalf("negative timing in %+v", c)
+		}
+	}
+
+	var sb strings.Builder
+	root.WriteTree(&sb)
+	out := sb.String()
+	for _, want := range []string{"explain", "plan", "shards=4", "combine"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteTree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanChildCap(t *testing.T) {
+	root := NewSpan("root")
+	for i := 0; i < maxChildren+10; i++ {
+		root.Child("c").End()
+	}
+	root.End()
+	n := root.Snapshot()
+	if len(n.Children) != maxChildren {
+		t.Fatalf("children = %d, want cap %d", len(n.Children), maxChildren)
+	}
+	if n.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", n.Dropped)
+	}
+}
+
+func TestSpanAttrOverwrite(t *testing.T) {
+	s := NewSpan("s")
+	s.SetAttr("k", 1)
+	s.SetAttr("k", 2)
+	s.End()
+	n := s.Snapshot()
+	if len(n.Attrs) != 1 || n.Attrs["k"] != 2 {
+		t.Fatalf("attrs = %v, want single k=2", n.Attrs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/obs"
 	"github.com/scorpiondb/scorpion/internal/partition"
 	"github.com/scorpiondb/scorpion/internal/predicate"
 	"github.com/scorpiondb/scorpion/internal/relation"
@@ -114,9 +115,13 @@ func (t *tree) influenceOf(gi, row int) float64 {
 
 // build runs the frontier partitioner over the pool and returns the leaves.
 func (t *tree) build(pool *partition.Pool) []Leaf {
+	parent := obs.SpanFrom(pool.Context())
 	root := t.makeRoot(pool)
 	frontier := []node{root}
-	for len(frontier) > 0 {
+	for level := 0; len(frontier) > 0; level++ {
+		span := parent.Child("dt.level")
+		span.SetAttr("level", level)
+		span.SetAttr("nodes", len(frontier))
 		type expansion struct {
 			processed bool
 			split     bool
@@ -143,6 +148,8 @@ func (t *tree) build(pool *partition.Pool) []Leaf {
 			}
 		}
 		frontier = next
+		span.SetAttr("split", len(next)/2)
+		span.End()
 		if pool.Cancelled() {
 			t.interrupted = true
 			for i := range frontier {

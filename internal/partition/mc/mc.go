@@ -28,6 +28,7 @@ import (
 	"github.com/scorpiondb/scorpion/internal/estimate"
 	"github.com/scorpiondb/scorpion/internal/influence"
 	"github.com/scorpiondb/scorpion/internal/merge"
+	"github.com/scorpiondb/scorpion/internal/obs"
 	"github.com/scorpiondb/scorpion/internal/partition"
 	"github.com/scorpiondb/scorpion/internal/predicate"
 	"github.com/scorpiondb/scorpion/internal/relation"
@@ -310,11 +311,20 @@ func (m *runner) run() (*Result, error) {
 	haveGlobal := false
 	prevBest := math.Inf(-1) // the pseudocode's `best`: Null initially
 
+	// One span per MC generation; the previous generation's span closes at
+	// the top of the next iteration (and after the loop), so every break
+	// path stays span-balanced without restructuring the exits.
+	parent := obs.SpanFrom(m.pool.Context())
+	var genSpan *obs.Span
 	for iter := 0; iter < maxIter && len(m.units) > 0; iter++ {
+		genSpan.End()
 		if m.pool.Cancelled() {
 			m.interrupted = true
 			break
 		}
+		genSpan = parent.Child("mc.generation")
+		genSpan.SetAttr("generation", iter)
+		genSpan.SetAttr("units", len(m.units))
 		if iter > 0 {
 			m.units = m.intersect(m.units)
 			if len(m.units) == 0 {
@@ -388,6 +398,7 @@ func (m *runner) run() (*Result, error) {
 			prevBest = top.Score
 		}
 	}
+	genSpan.End()
 	res.Interrupted = m.interrupted || m.pool.Cancelled()
 	res.Pruned = m.pruned.Load()
 	res.Escalated = m.escalated.Load()

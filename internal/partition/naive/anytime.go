@@ -1,6 +1,7 @@
 package naive
 
 import (
+	"github.com/scorpiondb/scorpion/internal/obs"
 	"github.com/scorpiondb/scorpion/internal/partition"
 	"github.com/scorpiondb/scorpion/internal/predicate"
 )
@@ -33,11 +34,24 @@ func runAnytime(e *enumerator, res *Result, pool *partition.Pool, params Params,
 		ok    bool
 		score float64
 	}
+	parent := obs.SpanFrom(pool.Context())
+	var batches int
 	var batch []item
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
+		// One span per flushed batch (the determinism unit): the trace
+		// shows how the ladder's prune rate evolves as the frontier
+		// tightens. The span cap in obs bounds deep enumerations.
+		span := parent.Child("naive.batch")
+		batches++
+		prunedBefore := tracker.Pruned()
+		defer func() {
+			span.SetAttr("pruned", tracker.Pruned()-prunedBefore)
+			span.End()
+		}()
+		span.SetAttr("size", len(batch))
 		thr := tracker.Threshold()
 		slots := make([]slot, len(batch))
 		_ = pool.ForEach(len(batch), func(i int) {
@@ -71,6 +85,9 @@ func runAnytime(e *enumerator, res *Result, pool *partition.Pool, params Params,
 	}
 	e.run(maxCard, maxClauses)
 	flush()
+	if batches > 0 {
+		parent.SetAttr("naive_batches", batches)
+	}
 	if pool.Cancelled() {
 		e.interrupted = true
 	}

@@ -306,6 +306,11 @@ func cachedResponse(v any, key string) map[string]any {
 	}
 	out := make(map[string]any, len(src)+1)
 	for k, val := range src {
+		if k == "trace" {
+			// A hit ran none of the phases the stored timeline describes;
+			// serving it would misattribute another request's timings.
+			continue
+		}
 		out[k] = val
 	}
 	out["cached"] = true

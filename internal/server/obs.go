@@ -1,0 +1,181 @@
+package server
+
+// The server's observability surface: request-ID correlation, per-route
+// HTTP metrics, request-scoped logging, and the introspection endpoints
+// (/metrics, /debug/vars, /healthz, /version, optional /debug/pprof).
+//
+// Every request is stamped with a correlation id — the client's
+// X-Request-ID when present, a fresh one otherwise — which is echoed in
+// the response header, attached to the request-scoped logger, carried
+// into any job the request submits (visible in /jobs views), and recorded
+// on the job's root span. One registry (created in NewCatalog) collects
+// the whole process: HTTP traffic here, scheduler and cache counters via
+// scrape-time collectors, and search-spine metrics through the request
+// context.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"github.com/scorpiondb/scorpion/internal/obs"
+)
+
+// Registry returns the server's metrics registry — the one scraped by
+// GET /metrics. Callers embedding the server can register their own
+// collectors on it.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SetLogger installs the base logger for request-scoped logging. Each
+// request logs through a child logger carrying its request id. The
+// default (nil) discards everything.
+func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
+
+// EnablePprof mounts the standard runtime profiler under /debug/pprof/.
+// Off by default: profiling endpoints can stall the process (CPU
+// profiles block for their duration), so exposure is an explicit opt-in
+// (the server binary's -pprof flag).
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// ServeHTTP implements http.Handler: it wraps the route mux with the
+// telemetry middleware — request-id assignment/echo, context wiring
+// (registry, logger, request id), per-route request/latency/status
+// metrics, and one access-log line per request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = newRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+
+	ctx := obs.ContextWithRequestID(r.Context(), reqID)
+	ctx = obs.ContextWithRegistry(ctx, s.reg)
+	logger := s.log
+	if logger != nil {
+		logger = logger.With("request_id", reqID)
+		ctx = obs.ContextWithLogger(ctx, logger)
+	}
+
+	// Resolve the route pattern BEFORE dispatch: the mux rewrites the
+	// request it passes down, so the pattern is not visible on our copy
+	// afterwards. Unmatched requests share one "unmatched" series rather
+	// than minting a label per probed path.
+	_, route := s.mux.Handler(r)
+	if route == "" {
+		route = "unmatched"
+	}
+
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK // handler wrote a body (or nothing) without WriteHeader
+	}
+	elapsed := time.Since(start)
+	s.reg.Counter("scorpion_http_requests_total",
+		"route", route, "method", r.Method, "status", strconv.Itoa(status)).Inc()
+	s.reg.Histogram("scorpion_http_request_seconds", nil, "route", route).
+		Observe(elapsed.Seconds())
+	if logger != nil {
+		logger.Info("http request",
+			"method", r.Method, "path", r.URL.Path, "route", route,
+			"status", status, "duration_ms", elapsed.Milliseconds())
+	}
+}
+
+// statusWriter captures the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// newRequestID mints a 16-hex-char correlation id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-unknown" // crypto/rand failing means the host is broken
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// --- introspection endpoints --------------------------------------------
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleDebugVars serves the same registry as one JSON document — the
+// expvar-style view for humans and scripts. (A hand-rolled handler, not
+// expvar.Publish: publishing panics on duplicate names, which every
+// test spinning up a second server would hit.)
+func (s *Server) handleDebugVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.reg.WriteJSON(w)
+}
+
+// handleHealthz answers liveness probes: 200 while the server accepts
+// work, 503 once the scheduler has been closed (draining/shutdown) so
+// load balancers stop routing to a process that would only answer 503s
+// on /explain anyway.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.sched.Closed() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "shutting_down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"tables": len(s.catalog.List()),
+	})
+}
+
+// handleVersion reports build identity: module version and VCS revision
+// when the binary carries build info, plus the Go runtime and its
+// parallelism (the default worker budget's ceiling).
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]any{
+		"go":         runtime.Version(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		out["module"] = bi.Main.Path
+		if bi.Main.Version != "" {
+			out["version"] = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				out["revision"] = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

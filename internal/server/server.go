@@ -47,6 +47,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -56,6 +57,7 @@ import (
 	"github.com/scorpiondb/scorpion/internal/cache"
 	"github.com/scorpiondb/scorpion/internal/catalog"
 	"github.com/scorpiondb/scorpion/internal/jobs"
+	"github.com/scorpiondb/scorpion/internal/obs"
 )
 
 // Server serves a catalog of tables over HTTP, scheduling explanation
@@ -74,6 +76,13 @@ type Server struct {
 	// append-path warm-start units (see stream.go). nil when caching is
 	// disabled.
 	streams *cache.Cache
+	// reg is the process-wide metrics registry (always non-nil; NewCatalog
+	// installs one): HTTP traffic, scheduler and cache collectors, and the
+	// search spine (through job contexts) all report into it. log is the
+	// base logger for request-scoped logging; nil (the default) logs
+	// nothing — the server binary installs one via SetLogger.
+	reg *obs.Registry
+	log *slog.Logger
 	// inflightJobs maps a live coalescable job's id to its inflight record
 	// so the explicit DELETE /jobs/{id} path can honor waiter accounting
 	// (one client's cancel must not kill a search others still wait on).
@@ -125,7 +134,17 @@ func NewCatalog(cat *catalog.Catalog, sched *jobs.Scheduler) *Server {
 		cache:    cache.New(0), // 0 = cache.DefaultCapacity
 		sessions: cache.New(defaultSessionEntries),
 		streams:  cache.New(defaultStreamEntries),
+		reg:      obs.NewRegistry(),
 	}
+	sched.SetRegistry(s.reg)
+	// One scrape-time collector over whichever caches are CURRENT:
+	// ConfigureCache swaps the cache pointers, so registering the caches
+	// themselves would pin (and keep exporting) the originals forever.
+	s.reg.RegisterFunc(func(emit obs.EmitFunc) {
+		s.cache.EmitMetrics(emit, "results")
+		s.sessions.EmitMetrics(emit, "sessions")
+		s.streams.EmitMetrics(emit, "streams")
+	})
 	s.mux.HandleFunc("GET /tables", s.handleTables)
 	s.mux.HandleFunc("POST /tables", s.handleTableUpload)
 	s.mux.HandleFunc("POST /tables/{name}/rows", s.handleTableAppend)
@@ -139,6 +158,10 @@ func NewCatalog(cat *catalog.Catalog, sched *jobs.Scheduler) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /cache", s.handleCacheStats)
 	s.mux.HandleFunc("DELETE /cache", s.handleCacheClear)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
 	return s
 }
 
@@ -150,9 +173,6 @@ func (s *Server) Scheduler() *jobs.Scheduler { return s.sched }
 
 // Close cancels all live jobs and rejects new ones.
 func (s *Server) Close() { s.sched.Close() }
-
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // --- catalog endpoints -------------------------------------------------
 
@@ -264,6 +284,8 @@ func (s *Server) handleTableAppend(w http.ResponseWriter, r *http.Request) {
 	if s.sessions != nil {
 		s.sessions.InvalidatePrefix(name + "@")
 	}
+	s.reg.Counter("scorpion_append_batches_total", "table", name).Inc()
+	s.reg.Counter("scorpion_append_rows_total", "table", name).Add(float64(n))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"table":    entryJSON(e),
 		"appended": n,
@@ -456,8 +478,10 @@ type explainPlan struct {
 }
 
 // buildExplainTask validates an ExplainRequest and compiles it into a
-// schedulable job plan. Validation errors map to the returned status code.
-func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error) {
+// schedulable job plan. reqID is the submitting request's correlation id
+// (possibly empty); it rides the task into job views and the run's root
+// span. Validation errors map to the returned status code.
+func (s *Server) buildExplainTask(req *ExplainRequest, reqID string) (*explainPlan, int, error) {
 	entry, err := s.resolveTable(req.Table)
 	if err != nil {
 		return nil, http.StatusNotFound, err
@@ -536,11 +560,23 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error
 		interval = 100 * time.Millisecond
 	}
 	task := jobs.Task{
-		Kind:    "explain",
-		Table:   entry.Name,
-		Workers: workers,
-		Timeout: s.ExplainTimeout,
+		Kind:      "explain",
+		Table:     entry.Name,
+		Workers:   workers,
+		Timeout:   s.ExplainTimeout,
+		RequestID: reqID,
 		Run: func(ctx context.Context, granted int, report func(any)) (any, error) {
+			// The job runs detached from the HTTP request (async clients
+			// poll it), so the telemetry context is rebuilt here: the
+			// process registry, plus a fresh root span that becomes the
+			// job's phase timeline ("trace" in the result).
+			ctx = obs.ContextWithRegistry(ctx, s.reg)
+			root := obs.NewSpan("explain")
+			root.SetAttr("table", entry.Name)
+			if reqID != "" {
+				root.SetAttr("request_id", reqID)
+			}
+			ctx = obs.ContextWithSpan(ctx, root)
 			r := *sreq
 			r.Workers = granted
 			r.ProgressInterval = interval
@@ -558,17 +594,26 @@ func (s *Server) buildExplainTask(req *ExplainRequest) (*explainPlan, int, error
 			var refreshedFrom int64
 			var err error
 			if ss := s.streamFor(streamKey); ss != nil {
-				res, refreshedFrom, err = ss.run(ctx, &r, entry)
+				var reason string
+				res, refreshedFrom, reason, err = ss.run(ctx, &r, entry)
+				if reason == "" {
+					s.reg.Counter("scorpion_stream_warm_total", "table", entry.Name).Inc()
+				} else {
+					s.reg.Counter("scorpion_stream_cold_total",
+						"table", entry.Name, "reason", reason).Inc()
+				}
 			} else if sess := s.sessionFor(sessionKey); sess != nil {
 				res, err = sess.run(ctx, &r, granted, onProgress, interval)
 			} else {
 				res, err = scorpion.ExplainContext(ctx, &r)
 			}
+			root.End()
 			if res == nil {
 				return nil, err
 			}
 			// A partial (interrupted) result is still worth returning.
 			out := explainResultJSON(res)
+			out["trace"] = []*obs.Node{root.Snapshot()}
 			if refreshedFrom > 0 {
 				out["refreshed_from"] = refreshedFrom
 			}
@@ -631,7 +676,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad mode %q (want sync or async)", req.Mode))
 		return
 	}
-	plan, status, err := s.buildExplainTask(&req)
+	plan, status, err := s.buildExplainTask(&req, obs.RequestID(r.Context()))
 	if err != nil {
 		writeError(w, status, err)
 		return
@@ -701,7 +746,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 		return
 	}
-	plan, status, err := s.buildExplainTask(&req)
+	plan, status, err := s.buildExplainTask(&req, obs.RequestID(r.Context()))
 	if err != nil {
 		writeError(w, status, err)
 		return
@@ -778,6 +823,16 @@ func jobJSON(v jobs.View) map[string]any {
 		"table":   v.Table,
 		"status":  string(v.Status),
 		"created": v.Created.UTC().Format(time.RFC3339Nano),
+	}
+	if v.RequestID != "" {
+		out["request_id"] = v.RequestID
+	}
+	// The queued/running split: queued_ms is admission wait only, and
+	// running_ms (present once the job has started) is pure run time —
+	// a queued-but-slow job and a fast-but-starved one look different.
+	out["queued_ms"] = v.QueuedFor.Milliseconds()
+	if !v.Started.IsZero() {
+		out["running_ms"] = v.RanFor.Milliseconds()
 	}
 	if v.Status == jobs.StatusQueued && v.QueuePos > 0 {
 		// 1 = next to be admitted; async clients use this to see where

@@ -53,14 +53,17 @@ func (s *Server) streamFor(key string) *streamSession {
 }
 
 // run executes one request through the session. It returns the generation
-// the result was refreshed from (0 when the run was cold). The request r
-// already carries the job's granted workers and progress reporter.
-func (ss *streamSession) run(ctx context.Context, r *scorpion.Request, entry *catalog.Entry) (*scorpion.Result, int64, error) {
+// the result was refreshed from (0 when the run was cold) and, for cold
+// runs, WHY the warm path was not taken (reason is "" exactly when the
+// run was warm) — the label on the server's stream warm/cold counters.
+// The request r already carries the job's granted workers and progress
+// reporter.
+func (ss *streamSession) run(ctx context.Context, r *scorpion.Request, entry *catalog.Entry) (*scorpion.Result, int64, string, error) {
 	if !ss.mu.TryLock() {
 		// Mid-run for another request: don't park this job's workers on a
 		// lock — run sessionless. Only the warm start is forgone.
 		res, err := scorpion.ExplainContext(ctx, r)
-		return res, 0, err
+		return res, 0, "busy", err
 	}
 	defer ss.mu.Unlock()
 	if entry.Gen < ss.gen {
@@ -69,19 +72,25 @@ func (ss *streamSession) run(ctx context.Context, r *scorpion.Request, entry *ca
 		// would cold-rebuild on the obsolete snapshot and throw away the
 		// fresher warm state. Run it sessionless instead.
 		res, err := scorpion.ExplainContext(ctx, r)
-		return res, 0, err
+		return res, 0, "stale_generation", err
 	}
 	if ss.ref == nil {
 		ref, err := scorpion.NewRefresher(r)
 		if err != nil {
 			res, rerr := scorpion.ExplainContext(ctx, r)
-			return res, 0, rerr
+			return res, 0, "init_failed", rerr
 		}
 		ss.ref = ref
 	}
 	prevGen := ss.gen
 	ss.ref.Configure(r.Workers, r.OnProgress, r.ProgressInterval)
 	res, refreshed, err := ss.ref.ExplainTable(ctx, entry.Table)
+	reason := ""
+	if !refreshed {
+		if reason = ss.ref.FallbackReason(); reason == "" {
+			reason = "unknown"
+		}
+	}
 	// Drop the per-job callback so the long-lived session only pins the
 	// state it reuses, not the finished job behind the progress closure.
 	ss.ref.Configure(0, nil, 0)
@@ -89,7 +98,7 @@ func (ss *streamSession) run(ctx context.Context, r *scorpion.Request, entry *ca
 		ss.gen = entry.Gen
 	}
 	if refreshed && prevGen != 0 {
-		return res, prevGen, err
+		return res, prevGen, reason, err
 	}
-	return res, 0, err
+	return res, 0, reason, err
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/scorpiondb/scorpion/internal/estimate"
 	"github.com/scorpiondb/scorpion/internal/influence"
 	"github.com/scorpiondb/scorpion/internal/merge"
+	"github.com/scorpiondb/scorpion/internal/obs"
 	"github.com/scorpiondb/scorpion/internal/partition"
 	"github.com/scorpiondb/scorpion/internal/predicate"
 	"github.com/scorpiondb/scorpion/internal/relation"
@@ -282,11 +283,19 @@ func (c *Coordinator) searchShard(i int, pool *partition.Pool, workers int) shar
 	if err != nil {
 		return shardResult{err: err}
 	}
-	shardPool := partition.NewPool(pool.Context(), workers).WithBoard(pool.Board().Child(ShardTag(i)))
+	span := obs.SpanFrom(pool.Context()).Child("shard.search")
+	span.SetAttr("shard", ShardTag(i))
+	span.SetAttr("rows", v.NumRows())
+	span.SetAttr("workers", workers)
+	shardPool := partition.NewPool(obs.ContextWithSpan(pool.Context(), span), workers).WithBoard(pool.Board().Child(ShardTag(i)))
 	outcome, err := searcher.Search(shardPool)
 	if err != nil {
+		span.End()
 		return shardResult{err: err}
 	}
+	span.SetAttr("work", outcome.Work)
+	span.SetAttr("candidates", len(outcome.Candidates))
+	span.End()
 	cands := outcome.Candidates
 	if sk := c.params.Penalty; sk != nil && len(cands) > c.params.TopPerShard {
 		// Penalty-aware cut: shard predicates transfer verbatim to the base
@@ -373,6 +382,9 @@ func (c *Coordinator) combine(pool *partition.Pool, all []partition.Candidate) [
 	if len(all) == 0 {
 		return nil
 	}
+	span := obs.SpanFrom(pool.Context()).Child("combine")
+	span.SetAttr("in", len(all))
+	defer span.End()
 	// Dedupe on shard-local estimates first so the exact pass scores each
 	// clause set once; shard order makes the tie-breaks deterministic.
 	partition.SortByScore(all)
@@ -404,7 +416,11 @@ func (c *Coordinator) combine(pool *partition.Pool, all []partition.Candidate) [
 	merged := merge.New(c.scorer, c.space, c.params.Merge).WithPool(pool).Merge(head)
 	out := partition.Dedupe(append(merged, tail...))
 	partition.SortByScore(out)
+	rspan := span.Child("refine")
+	rspan.SetAttr("in", len(out))
 	out = c.refine(pool, out)
+	rspan.End()
+	span.SetAttr("out", len(out))
 	pool.PublishBest(out)
 	return out
 }

@@ -46,6 +46,10 @@ type Refresher struct {
 	algo    Algorithm
 	shards  int // shard count of the cold search the candidates came from
 	rows    int // rows at the last cold run — MaxWarmGrowth's baseline
+	// fallback records why the LAST ExplainTable call took the cold path
+	// ("" after a warm refresh); serving layers label their
+	// warm-vs-cold counters with it.
+	fallback string
 }
 
 // MaxWarmGrowth caps how much the table may grow, relative to its size at
@@ -84,6 +88,7 @@ func (f *Refresher) ExplainTable(ctx context.Context, tbl *Table) (*Result, bool
 	}
 	if f.canRefresh(tbl) {
 		if res, err, ok := f.refresh(ctx, tbl); ok {
+			f.fallback = ""
 			return res, true, err
 		}
 	}
@@ -91,17 +96,29 @@ func (f *Refresher) ExplainTable(ctx context.Context, tbl *Table) (*Result, bool
 	return res, false, err
 }
 
+// FallbackReason names why the last ExplainTable call ran cold: one of
+// "cold_start", "schema_changed", "growth_cap", "advance_failed",
+// "new_group", "group_missing", "states_unavailable", or
+// "seed_failed". Empty after a warm refresh.
+func (f *Refresher) FallbackReason() string { return f.fallback }
+
 // canRefresh gates the warm path on the cheap structural checks; refresh
 // itself re-checks what only the tail reveals (new groups, missing labels).
 func (f *Refresher) canRefresh(tbl *Table) bool {
 	if f.tracker == nil || len(f.cands) == 0 || f.rows == 0 {
+		f.fallback = "cold_start"
 		return false
 	}
 	n := tbl.NumRows()
 	if n < f.tracker.Rows() || !tbl.Schema().Equal(f.tracker.Table().Schema()) {
+		f.fallback = "schema_changed"
 		return false
 	}
-	return float64(n-f.rows) <= MaxWarmGrowth*float64(f.rows)
+	if float64(n-f.rows) > MaxWarmGrowth*float64(f.rows) {
+		f.fallback = "growth_cap"
+		return false
+	}
+	return true
 }
 
 // cold runs the full search against tbl and snapshots the warm state.
@@ -145,11 +162,13 @@ func (f *Refresher) refresh(ctx context.Context, tbl *Table) (*Result, error, bo
 		// An advance that failed structurally may have been a half-applied
 		// batch; drop the tracker so the cold fallback rebuilds it.
 		f.tracker = nil
+		f.fallback = "advance_failed"
 		return nil, nil, false
 	}
 	// A brand-new group under all-others-hold-out changes the label set
 	// itself — the cached candidates were never scored against it.
 	if f.req.AllOthersHoldOut && len(f.req.HoldOuts) == 0 && len(delta.New) > 0 {
+		f.fallback = "new_group"
 		return nil, nil, false
 	}
 	task := &influence.Task{
@@ -164,6 +183,7 @@ func (f *Refresher) refresh(ctx context.Context, tbl *Table) (*Result, error, bo
 	for _, key := range f.req.Outliers {
 		g, ok := f.tracker.Group(key)
 		if !ok {
+			f.fallback = "group_missing"
 			return nil, nil, false // label group gone from the query output
 		}
 		task.Outliers = append(task.Outliers,
@@ -181,20 +201,24 @@ func (f *Refresher) refresh(ctx context.Context, tbl *Table) (*Result, error, bo
 	for _, key := range holdKeys {
 		g, ok := f.tracker.Group(key)
 		if !ok {
+			f.fallback = "group_missing"
 			return nil, nil, false
 		}
 		task.HoldOuts = append(task.HoldOuts, influence.Group{Key: key, Rows: g.Rows})
 	}
 	outStates, err := f.tracker.States(outlierKeys(task))
 	if err != nil {
+		f.fallback = "states_unavailable"
 		return nil, nil, false
 	}
 	holdStates, err := f.tracker.States(holdOutKeys(task))
 	if err != nil {
+		f.fallback = "states_unavailable"
 		return nil, nil, false
 	}
 	scorer, err := influence.NewScorerSeeded(task, outStates, holdStates)
 	if err != nil {
+		f.fallback = "seed_failed"
 		return nil, nil, false
 	}
 	// Re-score a copy: rescoreExact sorts and rewrites scores in place, and

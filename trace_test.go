@@ -1,0 +1,120 @@
+package scorpion
+
+// Phase-trace structure suite: an explain run under a caller-provided root
+// span must produce the documented phase tree, with each phase parented
+// where the README says it is — plan and search under the root, per-shard
+// spans (with the algorithm's own spans below them) under search, refine
+// under combine, rank last. The companion registry assertions pin that the
+// same run also lands in the metrics spine.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/obs"
+	"github.com/scorpiondb/scorpion/internal/synth"
+)
+
+// TestExplainSpanTree runs a sharded anytime NAIVE explain under a root
+// span and asserts the full phase tree.
+func TestExplainSpanTree(t *testing.T) {
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 150, Groups: 6, OutlierGroups: 2, Mu: 80, Seed: 11,
+	})
+	req := anytimeRequest(ds, Naive)
+	req.Shards = 2
+	req.Epsilon = 0.05
+	req.Workers = 2
+
+	root := obs.NewSpan("explain")
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	ctx = obs.ContextWithRegistry(ctx, reg)
+	if _, err := ExplainContext(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	node := root.Snapshot()
+	search := node.Find("search")
+	if node.Find("plan") == nil || search == nil || node.Find("rank") == nil {
+		var buf bytes.Buffer
+		root.WriteTree(&buf)
+		t.Fatalf("missing top-level phase span; trace:\n%s", buf.String())
+	}
+	// The per-shard and combine spans must hang off "search", not the root.
+	shard := search.Find("shard.search")
+	combine := search.Find("combine")
+	if shard == nil || combine == nil {
+		var buf bytes.Buffer
+		root.WriteTree(&buf)
+		t.Fatalf("search span missing shard.search/combine children; trace:\n%s", buf.String())
+	}
+	// The anytime NAIVE path flushes at least one batch per shard search,
+	// and its span nests under THAT shard, not under search directly.
+	if shard.Find("naive.batch") == nil {
+		var buf bytes.Buffer
+		root.WriteTree(&buf)
+		t.Fatalf("shard.search has no naive.batch child; trace:\n%s", buf.String())
+	}
+	// Refine is a combine sub-phase.
+	if combine.Find("refine") == nil {
+		var buf bytes.Buffer
+		root.WriteTree(&buf)
+		t.Fatalf("combine has no refine child; trace:\n%s", buf.String())
+	}
+	if shard.Attrs["shard"] == nil || shard.Attrs["rows"] == nil {
+		t.Errorf("shard.search attrs = %v, want shard and rows", shard.Attrs)
+	}
+	if got := search.Attrs["algorithm"]; got != "naive" {
+		t.Errorf("search algorithm attr = %v, want naive", got)
+	}
+
+	// The same run must have landed in the registry.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`scorpion_search_total{algorithm="naive"} 1`,
+		"scorpion_scorer_calls_total",
+		"scorpion_search_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q; got:\n%s", want, text)
+		}
+	}
+}
+
+// TestExplainSpanTreeSession pins the session (c-sweep) path's trace shape:
+// no plan span, a dt-session search span that flips its reused_partition
+// attr on the second run, and a rank span.
+func TestExplainSpanTreeSession(t *testing.T) {
+	ds := synth.Generate(synth.Config{
+		Dims: 2, TuplesPerGroup: 100, Groups: 6, OutlierGroups: 2, Mu: 80, Seed: 3,
+	})
+	req := anytimeRequest(ds, DT)
+	exp, err := NewExplainer(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []bool{false, true} {
+		root := obs.NewSpan("explain")
+		ctx := obs.ContextWithSpan(context.Background(), root)
+		if _, err := exp.ExplainCContext(ctx, 0.5-0.2*float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+		node := root.Snapshot()
+		search := node.Find("search")
+		if search == nil || node.Find("rank") == nil {
+			t.Fatalf("run %d: missing search/rank span", i)
+		}
+		if got := search.Attrs["reused_partition"]; got != want {
+			t.Errorf("run %d: reused_partition = %v, want %v", i, got, want)
+		}
+	}
+}

@@ -273,7 +273,7 @@ func New(scorer *influence.Scorer, p Params) *Estimator {
 // per-(generation, group) seed and precomputes the ladder sizes and the
 // population value range.
 func newGroupSample(g influence.Group, dir float64, aggVals []float64, gen int64, fractions []float64, minRows int) groupSample {
-	gs := groupSample{dir: dir}
+	gs := groupSample{dir: dir, rows: make([]int, 0, g.Rows.Count())}
 	g.Rows.ForEach(func(r int) { gs.rows = append(gs.rows, r) })
 	gs.n = len(gs.rows)
 	rng := rand.New(rand.NewSource(sample.GroupSeed(gen, g.Key)))

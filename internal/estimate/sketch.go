@@ -59,7 +59,7 @@ func NewSketch(scorer *influence.Scorer, rowsPerGroup int) *Sketch {
 	}
 	gen := int64(tab.NumRows())
 	for _, g := range task.HoldOuts {
-		sg := sketchGroup{}
+		sg := sketchGroup{rows: make([]int, 0, g.Rows.Count())}
 		g.Rows.ForEach(func(r int) { sg.rows = append(sg.rows, r) })
 		sg.n = len(sg.rows)
 		rng := rand.New(rand.NewSource(sample.GroupSeed(gen, g.Key)))

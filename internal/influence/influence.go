@@ -208,6 +208,24 @@ func (c *scoreCache) stats() (hits, misses int64) {
 	return hits, misses
 }
 
+// size reports the number of memoized entries and an estimate of their
+// heap footprint: per-entry map overhead plus the interned key bytes.
+func (c *scoreCache) size() (entries int, bytes int64) {
+	// Rough per-entry cost of a map[string]float64 bucket slot: the string
+	// header (16) + float64 (8) + amortized bucket/overflow overhead.
+	const entryOverhead = 48
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			entries++
+			bytes += int64(len(k)) + entryOverhead
+		}
+		sh.mu.RUnlock()
+	}
+	return entries, bytes
+}
+
 func (c *scoreCache) put(key string, v float64) {
 	sh := c.shard(key)
 	sh.mu.Lock()
@@ -315,6 +333,12 @@ func (s *Scorer) Calls() int64 { return s.calls.Load() }
 // hit rate (hits / (hits+misses)) is the serving-layer signal for how
 // much revisiting (merge expansions, refinement re-scores) a search did.
 func (s *Scorer) MemoStats() (hits, misses int64) { return s.cache.stats() }
+
+// MemoSize reports the number of memoized predicate scores and an estimate
+// of the memo cache's heap footprint in bytes. The BENCH_memory lane tracks
+// it next to provenance bytes/row; it walks every shard under its read
+// lock, so it is a diagnostics call, not a hot-path one.
+func (s *Scorer) MemoSize() (entries int, bytes int64) { return s.cache.size() }
 
 // OutlierResult returns the cached original aggregate value of outlier i.
 func (s *Scorer) OutlierResult(i int) float64 { return s.outOrig[i] }

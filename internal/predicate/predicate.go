@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/scorpiondb/scorpion/internal/relation"
@@ -117,6 +118,17 @@ func (c Clause) containsClause(o Clause) bool {
 // every row.
 type Predicate struct {
 	clauses []Clause
+	// key is the canonical fingerprint, computed once at construction and
+	// shared by copies of the value. Predicates are immutable, so the box
+	// is written exactly once before the value escapes — safe to read from
+	// any goroutine. nil only for the zero value (True), whose key is "".
+	key *string
+}
+
+// newPredicate wraps sorted clauses and stamps their canonical fingerprint.
+func newPredicate(clauses []Clause) Predicate {
+	k := buildKey(clauses)
+	return Predicate{clauses: clauses, key: &k}
 }
 
 // True returns the empty predicate, which matches all rows.
@@ -133,7 +145,7 @@ func New(clauses ...Clause) (Predicate, error) {
 			return Predicate{}, fmt.Errorf("predicate: duplicate clause on column %q", cs[i].Name)
 		}
 	}
-	return Predicate{clauses: cs}, nil
+	return newPredicate(cs), nil
 }
 
 // MustNew is New that panics on error.
@@ -255,7 +267,7 @@ func (p Predicate) Intersect(o Predicate) (Predicate, bool) {
 	}
 	out = append(out, p.clauses[i:]...)
 	out = append(out, o.clauses[j:]...)
-	return Predicate{clauses: out}, true
+	return newPredicate(out), true
 }
 
 func intersectClauses(a, b Clause) (Clause, bool) {
@@ -320,7 +332,7 @@ func (p Predicate) Merge(o Predicate) Predicate {
 			j++
 		}
 	}
-	return Predicate{clauses: out}
+	return newPredicate(out)
 }
 
 func mergeClauses(a, b Clause) Clause {
@@ -429,15 +441,38 @@ func (p Predicate) Equal(o Predicate) bool {
 }
 
 // Key returns a canonical string usable as a map key for de-duplication.
+// The fingerprint is computed once when the predicate is constructed, so
+// the hot callers — the scorer's memo lookup, candidate de-duplication,
+// obs labels — pay a pointer read, not a string build, per call.
 func (p Predicate) Key() string {
+	if p.key != nil {
+		return *p.key
+	}
+	// Zero-value predicates (True) never went through a constructor; their
+	// key is the empty clause list's rendering.
+	return buildKey(p.clauses)
+}
+
+// buildKey renders the canonical fingerprint of a sorted clause list:
+// "col:[lo,hi,hiInc];" per continuous clause, "col:{v0,v1,...,};" per
+// discrete clause.
+func buildKey(clauses []Clause) string {
 	var b strings.Builder
-	for _, c := range p.clauses {
+	for _, c := range clauses {
+		b.WriteString(strconv.Itoa(c.Col))
 		if c.Kind == relation.Continuous {
-			fmt.Fprintf(&b, "%d:[%g,%g,%v];", c.Col, c.Lo, c.Hi, c.HiInc)
+			b.WriteString(":[")
+			b.WriteString(strconv.FormatFloat(c.Lo, 'g', -1, 64))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(c.Hi, 'g', -1, 64))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatBool(c.HiInc))
+			b.WriteString("];")
 		} else {
-			fmt.Fprintf(&b, "%d:{", c.Col)
+			b.WriteString(":{")
 			for _, v := range c.Values {
-				fmt.Fprintf(&b, "%d,", v)
+				b.WriteString(strconv.FormatInt(int64(v), 10))
+				b.WriteByte(',')
 			}
 			b.WriteString("};")
 		}

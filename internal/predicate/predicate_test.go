@@ -1,6 +1,8 @@
 package predicate
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -435,5 +437,82 @@ func TestKeyCanonicalProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Key is precomputed at construction; the accessor must be a pointer read,
+// not a per-call string build. The scorer's memo lookup leans on this.
+func TestKeyZeroAlloc(t *testing.T) {
+	p := MustNew(
+		NewRangeClause(0, "x", 1.25, 9.5, true),
+		NewSetClause(2, "color", []int32{2, 0, 1}),
+	)
+	allocs := testing.AllocsPerRun(100, func() {
+		if p.Key() == "" {
+			t.Fatal("empty key")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Key allocated %v times per call; want 0", allocs)
+	}
+}
+
+// The cached fingerprint must render exactly the historical fmt-based
+// format ("col:[lo,hi,hiInc];" / "col:{v0,v1,...,};"), including %g float
+// rendering and special values — persisted dedupe keys depend on it.
+func TestKeyFormatMatchesLegacy(t *testing.T) {
+	legacy := func(p Predicate) string {
+		var b strings.Builder
+		for _, c := range p.Clauses() {
+			if c.Kind == relation.Continuous {
+				fmt.Fprintf(&b, "%d:[%g,%g,%v];", c.Col, c.Lo, c.Hi, c.HiInc)
+			} else {
+				fmt.Fprintf(&b, "%d:{", c.Col)
+				for _, v := range c.Values {
+					fmt.Fprintf(&b, "%d,", v)
+				}
+				b.WriteString("};")
+			}
+		}
+		return b.String()
+	}
+	cases := []Predicate{
+		True(),
+		MustNew(NewRangeClause(0, "x", 0, 10, false)),
+		MustNew(NewRangeClause(1, "y", -0.5, math.Inf(1), true)),
+		MustNew(NewRangeClause(1, "y", math.Inf(-1), 1e300, false)),
+		MustNew(NewRangeClause(0, "x", 0.1, 0.30000000000000004, false)),
+		MustNew(NewSetClause(2, "color", []int32{5, 3, 3, 0})),
+		MustNew(
+			NewRangeClause(0, "x", 1, 2, true),
+			NewSetClause(2, "color", []int32{7}),
+		),
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		cases = append(cases, randomPredicate(rng))
+	}
+	for _, p := range cases {
+		if got, want := p.Key(), legacy(p); got != want {
+			t.Fatalf("Key mismatch:\n got  %q\n want %q", got, want)
+		}
+	}
+}
+
+// Derived predicates (Intersect, Merge) must carry fresh fingerprints, not
+// stale copies of their inputs'.
+func TestKeyDerivedPredicates(t *testing.T) {
+	a := MustNew(NewRangeClause(0, "x", 0, 10, false))
+	b := MustNew(NewRangeClause(0, "x", 5, 20, false))
+	m, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("intersect empty")
+	}
+	if m.Key() == a.Key() || m.Key() == b.Key() {
+		t.Fatalf("intersection key %q not distinct from inputs", m.Key())
+	}
+	u := a.Merge(b)
+	if got, want := u.Key(), MustNew(NewRangeClause(0, "x", 0, 20, false)).Key(); got != want {
+		t.Fatalf("merge key %q != rebuilt %q", got, want)
 	}
 }

@@ -183,6 +183,10 @@ func (q *AggregateQuery) AggValues(rows *relation.RowSet) []float64 {
 func (q *AggregateQuery) Run() (*Result, error) {
 	t := q.Table.Data()
 	n := t.NumRows()
+	// Group provenance is built by one ascending row scan, so each set sees
+	// in-order appends: on tables clustered by the group-by key (the common
+	// time-series layout) the RowSets settle into the run encoding — a few
+	// spans per group instead of an n-bit bitmap per group.
 	groups := make(map[string]*relation.RowSet)
 	keyVals := make(map[string][]relation.Value)
 

@@ -76,13 +76,8 @@ func Plan(t *relation.Table, anchor *relation.RowSet, k int) []*relation.View {
 	}
 
 	// The anchored region [first, last+1) and the slice budget around it.
-	first, last := -1, -1
-	anchor.ForEach(func(r int) {
-		if first < 0 {
-			first = r
-		}
-		last = r
-	})
+	// Min/Max are O(1) on the compact provenance encodings — no full scan.
+	first, last := anchor.Min(), anchor.Max()
 	var bounds []int
 	quant := k
 	if first > 0 {

@@ -8,12 +8,13 @@
 // tail window (the rows the batch added, modeled as a relation.View),
 // embeds the tail's group slices into the new global id space, and folds
 // their states into the existing ones with Removable.Update. All QUERY
-// work is proportional to the batch, never to the table; the one
-// table-sized cost left is widening every group's provenance bitmap to
-// the new universe — a straight word copy (|D|/64 words per group), paid
-// instead of the cold path's full scan, regroup, and per-group state
-// rebuild. The refreshed states seed influence.NewScorerSeeded, so a warm
-// re-explain skips all of those.
+// work is proportional to the batch, never to the table — including the
+// universe growth: group provenance over a grouped scan is run-encoded
+// (see relation.RowSet), so widening a group's set to the new row count is
+// O(#runs) offset arithmetic, not a |D|/64-word bitmap copy; only a group
+// that degraded to the dense encoding still pays the word copy. The
+// refreshed states seed influence.NewScorerSeeded, so a warm re-explain
+// skips the cold path's full scan, regroup, and per-group state rebuild.
 //
 // The Tracker is deliberately label-agnostic: it maintains ALL groups, and
 // the caller (which knows the request's outlier/hold-out labels and λ)

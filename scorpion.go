@@ -59,7 +59,10 @@ type (
 	Row = relation.Row
 	// Value is one cell.
 	Value = relation.Value
-	// RowSet is a bitmap over row indices; Scorpion's provenance currency.
+	// RowSet is a set of row indices — Scorpion's provenance currency. It
+	// self-selects among dense-bitmap, range-run, and sparse-array
+	// encodings, so group-contiguous provenance costs bytes per run, not
+	// bytes per row.
 	RowSet = relation.RowSet
 	// CSVOptions controls CSV decoding.
 	CSVOptions = relation.CSVOptions

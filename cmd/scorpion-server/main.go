@@ -33,6 +33,13 @@
 // SIGINT/SIGTERM the server shuts down gracefully — it stops accepting
 // connections, cancels queued and running jobs, and waits (up to
 // -shutdown-timeout) for handlers to drain.
+//
+// Sharded searches can span processes: start workers with -worker (same
+// tables loaded), point a coordinator at them with
+// -peers http://w1:8081,http://w2:8081, and each shard of a sharded
+// explain is searched on the fleet — with per-shard local fallback when a
+// worker is down — before the coordinator combines candidates exactly as
+// a single process would. See README "Remote shard workers".
 package main
 
 import (
@@ -81,6 +88,9 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		pprofOn    = flag.Bool("pprof", false, "expose the runtime profiler under /debug/pprof/")
+		workerMode = flag.Bool("worker", false, "serve POST /shards/search: execute remote shard searches for a coordinator (requires the same tables loaded)")
+		peers      = flag.String("peers", "", "comma-separated worker base URLs; sharded explains dispatch per-shard searches to this fleet, falling back local per shard")
+		peerTime   = flag.Duration("peer-timeout", 0, "per-shard dispatch attempt deadline (0 = 2m)")
 	)
 	flag.Var(&csvs, "csv", "dataset to serve, as name=path or path (repeatable)")
 	flag.Parse()
@@ -125,6 +135,20 @@ func main() {
 	if *pprofOn {
 		srv.EnablePprof()
 		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	if *workerMode {
+		srv.EnableWorker()
+		log.Printf("worker mode: serving POST /shards/search (budget %d)", sched.Budget())
+	}
+	if *peers != "" {
+		list := strings.Split(*peers, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		if err := srv.SetPeers(list, *peerTime, nil); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("dispatching shard searches to %d peer(s)", len(list))
 	}
 
 	// Request contexts derive from the signal context, so a shutdown also

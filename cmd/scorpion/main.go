@@ -185,6 +185,7 @@ func run(ctx context.Context, args []string) error {
 			follow:     *follow,
 			appendPath: *appendCSV,
 			poll:       *pollEvery,
+			timeout:    *timeout,
 			showQuery:  *showQuery,
 			body:       body,
 			sql:        *sqlText,

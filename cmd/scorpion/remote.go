@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/scorpiondb/scorpion/internal/dispatch"
 	"github.com/scorpiondb/scorpion/internal/plot"
 )
 
@@ -23,6 +24,7 @@ type remoteOptions struct {
 	follow     bool   // keep re-explaining as the table grows
 	appendPath string // CSV batch to append before explaining ("" = none)
 	poll       time.Duration
+	timeout    time.Duration // the -timeout flag; also caps the transport's dial/TLS phases
 	showQuery  bool
 	body       map[string]any // the /explain request body
 	sql        string
@@ -88,12 +90,34 @@ func clampPoll(d time.Duration) time.Duration {
 	return d
 }
 
+// controlRequestTimeout bounds the quick control-plane requests that run
+// off context.Background() — job polls and the cancel DELETE — so a
+// wedged server can't hang the wind-down loop forever. Generous relative
+// to what these endpoints actually take (milliseconds) because a tripped
+// deadline here abandons the job's best-so-far output.
+const controlRequestTimeout = 30 * time.Second
+
+// newRemoteClient builds the CLI's HTTP client on the hardened transport
+// shared with the server's shard-dispatch path: bounded dial and TLS
+// handshake phases so a dead host fails fast instead of wedging commands
+// run without -timeout. A -timeout shorter than the default dial bound
+// tightens it further. No whole-request client.Timeout is set — a sync
+// /explain legitimately holds its response until the search finishes, and
+// the -timeout context already bounds command-scoped requests.
+func newRemoteClient(timeout time.Duration) *http.Client {
+	dial := 10 * time.Second
+	if timeout > 0 && timeout < dial {
+		dial = timeout
+	}
+	return dispatch.NewHTTPClient(dial)
+}
+
 // runRemote drives an explanation against a running server: synchronously
 // through POST /explain, or as an async job polled for best-so-far results
 // and canceled (DELETE) when ctx fires.
 func runRemote(ctx context.Context, opts remoteOptions) error {
 	opts.poll = clampPoll(opts.poll)
-	client := &http.Client{}
+	client := newRemoteClient(opts.timeout)
 	if opts.appendPath != "" {
 		if err := remoteAppend(ctx, client, opts); err != nil {
 			return err
@@ -145,9 +169,13 @@ func runRemote(ctx context.Context, opts remoteOptions) error {
 	canceled := false
 	for {
 		// Poll with a background-derived context: an interrupt must still
-		// let us cancel the job and fetch its final (partial) state.
+		// let us cancel the job and fetch its final (partial) state. The
+		// per-request deadline keeps a wedged server from hanging the loop.
 		var view jobView
-		if code, err := getJSON(context.Background(), client, jobURL, &view); err != nil {
+		pollCtx, cancelPoll := context.WithTimeout(context.Background(), controlRequestTimeout)
+		code, err := getJSON(pollCtx, client, jobURL, &view)
+		cancelPoll()
+		if err != nil {
 			return err
 		} else if code != http.StatusOK {
 			return fmt.Errorf("poll: HTTP %d", code)
@@ -193,7 +221,11 @@ func runRemote(ctx context.Context, opts remoteOptions) error {
 		case <-ctx.Done():
 			canceled = true
 			fmt.Println("\ncanceling job...")
-			final, err := deleteJob(client, jobURL)
+			// The command context is already done; the cancel request gets
+			// its own bounded context so it can't hang indefinitely either.
+			delCtx, cancelDel := context.WithTimeout(context.Background(), controlRequestTimeout)
+			final, err := deleteJob(delCtx, client, jobURL)
+			cancelDel()
 			if err != nil {
 				return err
 			}
@@ -397,8 +429,8 @@ func getJSON(ctx context.Context, client *http.Client, url string, out any) (int
 // server reports it removed a terminal job, the returned view carries that
 // job's final state; a nil view means cancellation is in flight and the
 // caller should keep polling.
-func deleteJob(client *http.Client, jobURL string) (*jobView, error) {
-	req, err := http.NewRequest("DELETE", jobURL, nil)
+func deleteJob(ctx context.Context, client *http.Client, jobURL string) (*jobView, error) {
+	req, err := http.NewRequestWithContext(ctx, "DELETE", jobURL, nil)
 	if err != nil {
 		return nil, err
 	}

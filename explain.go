@@ -129,6 +129,14 @@ type Request struct {
 	// unsharded run's; the final ranking is exact. See the README's
 	// "Sharded search" section for determinism caveats.
 	Shards int
+	// ShardDispatch, when non-nil, offers each shard search of a sharded
+	// run to a remote worker fleet (see internal/dispatch) before running
+	// it locally. Only grid-based algorithms (NAIVE, MC) with default
+	// tuning — Bins and TopK aside — dispatch; everything else, and every
+	// shard whose dispatch fails, runs locally. Because the coordinator's
+	// post-processing and combiner are identical for both paths, remote
+	// and local runs return identical results.
+	ShardDispatch ShardDispatcher
 	// TopK bounds the returned explanations (default 5).
 	TopK int
 	// Epsilon, when positive, switches NAIVE and MC to the anytime path: an
@@ -628,6 +636,61 @@ func (r *Request) effectiveShards() int {
 	return k
 }
 
+// DispatchSpec pins the search parameters a remote shard worker needs to
+// reproduce a shard search exactly: the query, the algorithm, and the
+// resolved grid knobs (resolved HERE, coordinator-side, so a worker built
+// from different defaults cannot skew the grid).
+type DispatchSpec struct {
+	// SQL is the request's aggregate query, parsed (never executed) by the
+	// worker to recover the aggregate function and column.
+	SQL string
+	// Algorithm is the resolved search strategy (Naive or MC).
+	Algorithm Algorithm
+	// Bins is the resolved continuous grid (naive/mc Params.Bins).
+	Bins int
+	// TopK is the resolved per-shard candidate retention (NAIVE only).
+	TopK int
+	// Epsilon and Confidence configure the worker's anytime estimator;
+	// Epsilon 0 is the exact path.
+	Epsilon    float64
+	Confidence float64
+}
+
+// ShardDispatcher turns a resolved search spec into a per-shard remote
+// searcher. Implemented by internal/dispatch's peer pool; defined here so
+// the root package never imports the networking layer.
+type ShardDispatcher interface {
+	Remote(spec DispatchSpec) shard.RemoteSearcher
+}
+
+// remoteDispatchable reports whether the request's shard searches can be
+// reproduced remotely from a DispatchSpec alone: grid algorithm, and no
+// tuning overrides beyond Bins/TopK (which the spec carries). Anything
+// else must run locally or results could differ between paths.
+func remoteDispatchable(req *Request, algo Algorithm) bool {
+	switch algo {
+	case Naive:
+		if p := req.NaiveParams; p != nil {
+			if p.MaxClauses != 0 || p.MaxDiscreteSubset != 0 || p.Deadline != 0 || p.Domains != nil || p.Estimator != nil {
+				return false
+			}
+		}
+		return true
+	case MC:
+		if req.MergeParams != nil && *req.MergeParams != (merge.Params{}) {
+			return false
+		}
+		if p := req.MCParams; p != nil {
+			if p.MaxDiscreteValues != 0 || p.MaxIterations != 0 || p.MaxUnits != 0 || p.Merge != (merge.Params{}) || p.Domains != nil || p.Estimator != nil {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
 // buildTopSearcher resolves the searcher ExplainContext drives: the plain
 // algorithm searcher, or — when the request shards — a shard.Coordinator
 // fanning that same algorithm across horizontal table slices. The returned
@@ -677,6 +740,20 @@ func buildTopSearcher(req *Request, scorer *influence.Scorer, space *predicate.S
 			// shard, so shard-local rankings become penalty-aware before the
 			// TopPerShard cut (nil for unsupported tasks or no hold-outs).
 			params.Penalty = estimate.NewSketch(scorer, 0)
+		}
+		if req.ShardDispatch != nil && remoteDispatchable(req, algo) {
+			spec := DispatchSpec{SQL: req.SQL, Algorithm: algo, Bins: params.GridBins}
+			if algo == Naive {
+				spec.TopK = shard.DefaultTopPerShard
+				if req.NaiveParams != nil && req.NaiveParams.TopK != 0 {
+					spec.TopK = req.NaiveParams.TopK
+				}
+			}
+			if req.Epsilon > 0 {
+				spec.Epsilon = req.Epsilon
+				spec.Confidence = req.ResolvedConfidence()
+			}
+			params.Remote = req.ShardDispatch.Remote(spec)
 		}
 		if coord := shard.NewCoordinator(scorer, space, factory, k, params); coord.NumShards() > 1 {
 			return coord, coord, nil

@@ -1,0 +1,95 @@
+package relation
+
+// FuzzRowSetCodec exercises the binary codec from both directions:
+//
+//   - generative: the input bytes build a membership set (universe byte +
+//     row/range bytes), which is forced into each of the three encodings;
+//     every variant must round-trip through AppendBinary/DecodeRowSet with
+//     identical universe, membership, encoding tag, and bytes.
+//   - adversarial: the raw input is also fed straight into DecodeRowSet,
+//     which must either return a structurally valid set (check() clean,
+//     re-encodable to the same bytes it consumed) or an error — never
+//     panic, never hand back a corrupt set.
+//
+// Run it locally with:
+//
+//	go test -fuzz=FuzzRowSetCodec -fuzztime 30s ./internal/relation
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzRowSetCodec(f *testing.F) {
+	// Seeds: empty set, a sparse scatter, a run-shaped set, a dense-ish
+	// alternating set, and a raw pre-encoded payload for the decode path.
+	f.Add([]byte{0})
+	f.Add([]byte{9, 1, 0, 3, 0, 8, 0})
+	f.Add([]byte{200, 10, 60, 90, 120, 150, 200})
+	f.Add([]byte{255, 0, 0, 2, 0, 4, 0, 6, 0, 8, 0, 10, 0})
+	f.Add(RowSetOf(100, 5, 6, 7, 40).AppendBinary(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: adversarial decode of the raw bytes.
+		if s, used, err := DecodeRowSet(data); err == nil {
+			if err := s.check(); err != nil {
+				t.Fatalf("decode accepted invalid set: %v", err)
+			}
+			// Canonical re-encode must reproduce a payload the decoder
+			// accepts with identical membership.
+			again := s.AppendBinary(nil)
+			s2, _, err := DecodeRowSet(again)
+			if err != nil {
+				t.Fatalf("re-encode of accepted input undecodable: %v", err)
+			}
+			if !s2.Equal(s) || s2.Universe() != s.Universe() {
+				t.Fatalf("re-encode changed membership: %s vs %s", s2, s)
+			}
+			_ = used
+		}
+
+		// Direction 2: generative round-trip across all three encodings.
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])
+		data = data[1:]
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		work := NewRowSet(n)
+		for i := 0; i+1 < len(data) && n > 0; i += 2 {
+			a, b := int(data[i])%n, int(data[i+1])%n
+			if b == 0 {
+				work.Add(a)
+				continue
+			}
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			work.AddRange(lo, hi+1)
+		}
+		variants := encVariants(work)
+		for vi, v := range [4]*RowSet{work, variants[0], variants[1], variants[2]} {
+			buf := v.AppendBinary(nil)
+			got, used, err := DecodeRowSet(buf)
+			if err != nil {
+				t.Fatalf("variant %d (%s): decode: %v", vi, v.Encoding(), err)
+			}
+			if used != len(buf) {
+				t.Fatalf("variant %d (%s): consumed %d of %d", vi, v.Encoding(), used, len(buf))
+			}
+			if got.Universe() != v.Universe() || got.Encoding() != v.Encoding() {
+				t.Fatalf("variant %d (%s): decoded as %s/%d", vi, v.Encoding(), got.Encoding(), got.Universe())
+			}
+			if !got.Equal(v) {
+				t.Fatalf("variant %d (%s): membership differs", vi, v.Encoding())
+			}
+			if err := got.check(); err != nil {
+				t.Fatalf("variant %d (%s): invariant: %v", vi, v.Encoding(), err)
+			}
+			if again := got.AppendBinary(nil); !bytes.Equal(again, buf) {
+				t.Fatalf("variant %d (%s): re-encode not byte-identical", vi, v.Encoding())
+			}
+		}
+	})
+}

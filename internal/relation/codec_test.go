@@ -1,0 +1,138 @@
+package relation
+
+import (
+	"bytes"
+	"testing"
+)
+
+// roundTrip encodes s, decodes the bytes, and asserts the decoded set is
+// structurally identical: same universe, membership, AND encoding.
+func roundTrip(t *testing.T, s *RowSet) []byte {
+	t.Helper()
+	buf := s.AppendBinary(nil)
+	got, used, err := DecodeRowSet(buf)
+	if err != nil {
+		t.Fatalf("decode %s: %v", s, err)
+	}
+	if used != len(buf) {
+		t.Fatalf("decode %s: consumed %d of %d bytes", s, used, len(buf))
+	}
+	if got.Universe() != s.Universe() {
+		t.Fatalf("decode %s: universe %d", s, got.Universe())
+	}
+	if got.Encoding() != s.Encoding() {
+		t.Fatalf("decode %s: encoding %s", s, got.Encoding())
+	}
+	if !got.Equal(s) {
+		t.Fatalf("decode %s: membership differs: %s", s, got)
+	}
+	mustCheck(t, got)
+	// The codec is canonical in the encode direction: re-encoding the
+	// decoded set reproduces the input bytes exactly.
+	again := got.AppendBinary(nil)
+	if !bytes.Equal(again, buf) {
+		t.Fatalf("re-encode of %s not byte-identical", s)
+	}
+	return buf
+}
+
+func TestRowSetCodecRoundTripAllEncodings(t *testing.T) {
+	shapes := []*RowSet{
+		NewRowSet(0),
+		NewRowSet(1),
+		RowSetOf(1, 0),
+		RowSetOf(7, 1, 3, 6),
+		FullRowSet(200),
+		RowSetOf(1000, 0, 999),
+		func() *RowSet { s := NewRowSet(500); s.AddRange(10, 90); s.AddRange(200, 450); return s }(),
+		func() *RowSet { // alternating bits: worst case for runs/sparse
+			s := NewRowSet(300)
+			for i := 0; i < 300; i += 2 {
+				s.Add(i)
+			}
+			return s
+		}(),
+		func() *RowSet { s := NewDenseRowSet(129); s.Add(0); s.Add(64); s.Add(128); return s }(),
+	}
+	for _, base := range shapes {
+		for _, v := range encVariants(base) {
+			roundTrip(t, v)
+		}
+		roundTrip(t, base)
+	}
+}
+
+func TestRowSetCodecCompactBeatsDense(t *testing.T) {
+	// A group-contiguous 1M-row provenance set: the run encoding must ship
+	// in a tiny fraction of the bitmap bytes. This is the property the
+	// remote shard wire depends on.
+	const n = 1 << 20
+	s := NewRowSet(n)
+	s.AddRange(1000, 2000)
+	s.AddRange(500000, 501000)
+	runBytes := len(s.AppendBinary(nil))
+	d := s.Clone()
+	d.toDense()
+	denseBytes := len(d.AppendBinary(nil))
+	if denseBytes < n/8 {
+		t.Fatalf("dense wire %d bytes, want >= %d (raw bitmap)", denseBytes, n/8)
+	}
+	if runBytes*10 > denseBytes {
+		t.Fatalf("runs wire %d bytes vs dense %d: not <= 1/10", runBytes, denseBytes)
+	}
+}
+
+func TestRowSetCodecStream(t *testing.T) {
+	// Multiple sets back to back in one buffer, as the wire layer ships
+	// group provenance: consumed-byte accounting must chain cleanly.
+	sets := []*RowSet{RowSetOf(10, 1, 2, 3), FullRowSet(64), NewRowSet(5)}
+	var buf []byte
+	for _, s := range sets {
+		buf = s.AppendBinary(buf)
+	}
+	pos := 0
+	for i, want := range sets {
+		got, used, err := DecodeRowSet(buf[pos:])
+		if err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("set %d: %s != %s", i, got, want)
+		}
+		pos += used
+	}
+	if pos != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", pos, len(buf))
+	}
+}
+
+func TestRowSetCodecRejectsMalformed(t *testing.T) {
+	valid := RowSetOf(100, 5, 6, 7).AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":            nil,
+		"short header":     {rowSetCodecVersion},
+		"bad version":      append([]byte{99}, valid[1:]...),
+		"bad tag":          {rowSetCodecVersion, 7, 10},
+		"truncated":        valid[:len(valid)-1],
+		"member past univ": (&RowSet{n: 3, enc: encSparse, elems: []int32{0, 5}}).AppendBinary(nil),
+		"adjacent runs":    (&RowSet{n: 10, enc: encRuns, runs: []span{{0, 2}, {2, 4}}}).AppendBinary(nil),
+		"run past univ":    (&RowSet{n: 4, enc: encRuns, runs: []span{{0, 9}}}).AppendBinary(nil),
+		"dense trailing": func() []byte {
+			b := NewDenseRowSet(3).AppendBinary(nil)
+			b[len(b)-8] = 0xF0 // bits 4..7 beyond universe 3
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeRowSet(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestRowSetCodecVersionConstant(t *testing.T) {
+	buf := NewRowSet(1).AppendBinary(nil)
+	if buf[0] != RowSetCodecVersion {
+		t.Fatalf("emitted version %d, exported constant %d", buf[0], RowSetCodecVersion)
+	}
+}

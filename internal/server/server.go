@@ -56,6 +56,7 @@ import (
 	scorpion "github.com/scorpiondb/scorpion"
 	"github.com/scorpiondb/scorpion/internal/cache"
 	"github.com/scorpiondb/scorpion/internal/catalog"
+	"github.com/scorpiondb/scorpion/internal/dispatch"
 	"github.com/scorpiondb/scorpion/internal/jobs"
 	"github.com/scorpiondb/scorpion/internal/obs"
 )
@@ -103,6 +104,12 @@ type Server struct {
 	// MaxUploadBytes caps a POST /tables body (0 = 256 MiB) so one upload
 	// cannot exhaust the process's memory.
 	MaxUploadBytes int64
+	// workerSem caps concurrent remote shard searches when this process
+	// runs as a worker (EnableWorker); sized by the scheduler budget.
+	workerSem chan struct{}
+	// dispatch is the remote shard peer pool when this process coordinates
+	// over a fleet (SetPeers); nil means every shard searches locally.
+	dispatch *dispatch.Pool
 }
 
 // defaultMaxUploadBytes bounds table uploads when MaxUploadBytes is unset.
@@ -548,6 +555,12 @@ func (s *Server) buildExplainTask(req *ExplainRequest, reqID string) (*explainPl
 	}
 	if req.Confidence != nil {
 		sreq.Confidence = *req.Confidence
+	}
+	if s.dispatch != nil {
+		// Offer this search's shards to the worker fleet. The dispatcher
+		// declines non-grid algorithms and failed peers per shard, so this
+		// is always safe to set; the local path is the fallback.
+		sreq.ShardDispatch = s.dispatch.For(entry.Name, entry.Gen)
 	}
 
 	var key, sessionKey, streamKey string

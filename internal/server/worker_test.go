@@ -1,0 +1,171 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"github.com/scorpiondb/scorpion/internal/catalog"
+	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/jobs"
+	"github.com/scorpiondb/scorpion/internal/relation"
+	"github.com/scorpiondb/scorpion/internal/wire"
+)
+
+// workerTask builds a valid one-shard task over the sensors fixture: the
+// whole table as a single window, 12PM/1PM flagged, 11AM held out.
+func workerTask() *wire.Task {
+	groups := func(rows ...int) []byte {
+		return relation.RowSetOf(9, rows...).AppendBinary(nil)
+	}
+	return &wire.Task{
+		Version:   wire.Version,
+		Table:     "default",
+		Rows:      9,
+		SQL:       "SELECT avg(temp), time FROM sensors GROUP BY time",
+		WindowLo:  0,
+		WindowHi:  9,
+		Algorithm: "naive",
+		Bins:      10,
+		TopK:      4,
+		Attrs:     []string{"sensorid", "voltage"},
+		Lambda:    0.5,
+		C:         0.2,
+		Outliers: []wire.Group{
+			{Key: "12PM", Direction: float64(influence.TooHigh), Rows: groups(3, 4, 5)},
+			{Key: "1PM", Direction: float64(influence.TooHigh), Rows: groups(6, 7, 8)},
+		},
+		HoldOuts: []wire.Group{{Key: "11AM", Rows: groups(0, 1, 2)}},
+	}
+}
+
+func TestWorkerEndpoint(t *testing.T) {
+	srv := New(testTable(t))
+	t.Cleanup(srv.Close)
+	srv.EnableWorker()
+
+	t.Run("searches a shard", func(t *testing.T) {
+		rec := postJSON(t, srv, "/shards/search", workerTask())
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+		}
+		var res wire.Result
+		decodeJSON(t, rec, &res)
+		outcome, err := wire.DecodeOutcome(&res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outcome.Candidates) == 0 || outcome.Work == 0 {
+			t.Fatalf("empty shard outcome: %+v", outcome)
+		}
+	})
+
+	t.Run("rejects version skew", func(t *testing.T) {
+		task := workerTask()
+		task.Version = wire.Version + 1
+		if rec := postJSON(t, srv, "/shards/search", task); rec.Code != http.StatusBadRequest {
+			t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+		}
+	})
+
+	t.Run("rejects unknown table", func(t *testing.T) {
+		task := workerTask()
+		task.Table = "nope"
+		if rec := postJSON(t, srv, "/shards/search", task); rec.Code != http.StatusNotFound {
+			t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+		}
+	})
+
+	t.Run("rejects row-count drift", func(t *testing.T) {
+		task := workerTask()
+		task.Rows = 9999
+		if rec := postJSON(t, srv, "/shards/search", task); rec.Code != http.StatusConflict {
+			t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+		}
+	})
+
+	t.Run("rejects malformed body", func(t *testing.T) {
+		req := httptest.NewRequest("POST", "/shards/search", nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+		}
+	})
+}
+
+func TestWorkerAnswersBusyAtCapacity(t *testing.T) {
+	cat := catalog.New()
+	if _, err := cat.Add("default", testTable(t), "builtin"); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewCatalog(cat, jobs.New(jobs.Options{Budget: 1}))
+	t.Cleanup(srv.Close)
+	srv.EnableWorker()
+
+	// Occupy the single slot; the next request must answer 429 immediately
+	// rather than queue (a fleet whose members coordinate for each other
+	// would deadlock on queued shard searches).
+	srv.workerSem <- struct{}{}
+	defer func() { <-srv.workerSem }()
+	if rec := postJSON(t, srv, "/shards/search", workerTask()); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+	}
+}
+
+// TestExplainThroughPeers runs a sharded explain end to end across two
+// server processes: a coordinator with -peers pointed at a -worker, both
+// holding the same table. The fleet answers every shard, and the result is
+// identical to the same request answered by a peer-less server.
+func TestExplainThroughPeers(t *testing.T) {
+	workerSrv := New(testTable(t))
+	t.Cleanup(workerSrv.Close)
+	workerSrv.EnableWorker()
+	ws := httptest.NewServer(workerSrv)
+	t.Cleanup(ws.Close)
+
+	coord := New(testTable(t))
+	t.Cleanup(coord.Close)
+	if err := coord.SetPeers([]string{ws.URL}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	local := New(testTable(t))
+	t.Cleanup(local.Close)
+
+	body := map[string]any{
+		"sql":                "SELECT avg(temp), time FROM sensors GROUP BY time",
+		"outliers":           []string{"12PM", "1PM"},
+		"all_others_holdout": true,
+		"algorithm":          "naive",
+		"shards":             2,
+	}
+	rec := postJSON(t, coord, "/explain", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remote-sharded explain = %d (%s)", rec.Code, rec.Body)
+	}
+	var remote map[string]any
+	decodeJSON(t, rec, &remote)
+
+	rec = postJSON(t, local, "/explain", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("local-sharded explain = %d (%s)", rec.Code, rec.Body)
+	}
+	var want map[string]any
+	decodeJSON(t, rec, &want)
+
+	if !reflect.DeepEqual(remote["explanations"], want["explanations"]) {
+		t.Fatalf("remote-sharded explanations diverge from local-sharded:\nremote: %v\nlocal:  %v",
+			remote["explanations"], want["explanations"])
+	}
+	// The planner anchors on outlier rows, so outlier-free windows are
+	// skipped before dispatch; every shard that IS searched must have been
+	// answered remotely with no fallbacks.
+	st := coord.DispatchStats()
+	if st.Dispatched == 0 || st.Succeeded != st.Dispatched || st.Fallbacks != 0 {
+		t.Fatalf("dispatch stats = %+v, want every searched shard answered remotely", st)
+	}
+	if st.BytesOut == 0 || st.BytesIn == 0 {
+		t.Fatalf("missing wire accounting: %+v", st)
+	}
+}

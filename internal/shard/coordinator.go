@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,6 +28,29 @@ import (
 // combiner dedupe and bounding-box-merge shard candidates exactly. It is
 // nil for the full-table fallback.
 type Factory func(scorer *influence.Scorer, space *predicate.Space, domains map[int]predicate.Domain) (partition.Searcher, error)
+
+// RemoteShard is everything a remote peer needs to reproduce one shard's
+// local search: the window, the window-local influence task, the search
+// attributes, and the pinned global domains. Index names the shard for
+// tagging; Workers is the worker share this shard was granted.
+type RemoteShard struct {
+	Index   int
+	View    *relation.View
+	Task    *influence.Task
+	Attrs   []string
+	Domains map[int]predicate.Domain
+	Workers int
+}
+
+// RemoteSearcher dispatches one shard search to a remote worker. It
+// returns ok = false when the shard should run locally instead — whether
+// because no peer is healthy, every attempt failed, or the dispatcher
+// does not handle this shard. Errors are the dispatcher's to log; the
+// coordinator's contract is only "an outcome, or run it yourself", so a
+// degraded fleet answers correctly, just slower. A returned outcome must
+// be complete (never partial): its candidates feed the combiner exactly
+// as a local search's would.
+type RemoteSearcher func(ctx context.Context, rs *RemoteShard) (*partition.Outcome, bool)
 
 // DefaultTopPerShard is the default per-shard candidate contribution;
 // searcher factories should make their shard searchers return at least
@@ -59,6 +83,12 @@ type Params struct {
 	// the §6.3 cached-tuple approximation are window estimates, so the
 	// combine merge always scores exactly; UseApproximation is ignored.
 	Merge merge.Params
+	// Remote, when non-nil, is offered every shard search before the local
+	// path runs it: a dispatcher that ships the shard to a worker fleet.
+	// The coordinator's post-processing (penalty rerank, TopPerShard cut,
+	// global id map-back) and the combiner are identical for both paths,
+	// so remote and local shard searches produce identical final results.
+	Remote RemoteSearcher
 	// Penalty, when non-nil, is a full-table hold-out sample sketch shipped
 	// to every shard: before the TopPerShard cut, each shard's candidates
 	// are re-ranked by their local score minus the sketch's estimate of the
@@ -268,6 +298,24 @@ func (c *Coordinator) searchShard(i int, pool *partition.Pool, workers int) shar
 	if !ok {
 		return shardResult{} // no outlier rows in this window: nothing to search
 	}
+	if c.params.Remote != nil {
+		rs := &RemoteShard{Index: i, View: v, Task: task, Attrs: c.space.AttrNames(), Domains: c.domains, Workers: workers}
+		if outcome, ok := c.params.Remote(pool.Context(), rs); ok {
+			span := obs.SpanFrom(pool.Context()).Child("shard.search")
+			span.SetAttr("shard", ShardTag(i))
+			span.SetAttr("remote", true)
+			span.SetAttr("work", outcome.Work)
+			span.SetAttr("candidates", len(outcome.Candidates))
+			span.End()
+			// Remote candidates still publish into the shard's board child so
+			// progress snapshots cover a mixed local/remote fleet.
+			if board := pool.Board(); board != nil {
+				board.Child(ShardTag(i)).Publish(outcome.Candidates)
+			}
+			return c.finishShard(v, outMap, outcome)
+		}
+		// Dispatch declined or failed: fall through to the local search.
+	}
 	scorer, err := influence.NewScorer(task)
 	if err != nil {
 		return shardResult{err: err}
@@ -296,6 +344,13 @@ func (c *Coordinator) searchShard(i int, pool *partition.Pool, workers int) shar
 	span.SetAttr("work", outcome.Work)
 	span.SetAttr("candidates", len(outcome.Candidates))
 	span.End()
+	return c.finishShard(v, outMap, outcome)
+}
+
+// finishShard applies the coordinator-side post-processing every shard
+// outcome gets, local or remote: the penalty-aware rerank, the
+// TopPerShard cut, and the map back to global row ids.
+func (c *Coordinator) finishShard(v *relation.View, outMap []int, outcome *partition.Outcome) shardResult {
 	cands := outcome.Candidates
 	if sk := c.params.Penalty; sk != nil && len(cands) > c.params.TopPerShard {
 		// Penalty-aware cut: shard predicates transfer verbatim to the base

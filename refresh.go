@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/scorpiondb/scorpion/internal/influence"
+	"github.com/scorpiondb/scorpion/internal/obs"
 	"github.com/scorpiondb/scorpion/internal/partition"
 	"github.com/scorpiondb/scorpion/internal/stream"
 )
@@ -97,9 +98,9 @@ func (f *Refresher) ExplainTable(ctx context.Context, tbl *Table) (*Result, bool
 }
 
 // FallbackReason names why the last ExplainTable call ran cold: one of
-// "cold_start", "schema_changed", "growth_cap", "advance_failed",
-// "new_group", "group_missing", "states_unavailable", or
-// "seed_failed". Empty after a warm refresh.
+// "cold_start", "table_shrunk", "schema_changed", "growth_cap",
+// "advance_failed", "new_group", "group_missing", "states_unavailable",
+// or "seed_failed". Empty after a warm refresh.
 func (f *Refresher) FallbackReason() string { return f.fallback }
 
 // canRefresh gates the warm path on the cheap structural checks; refresh
@@ -110,7 +111,13 @@ func (f *Refresher) canRefresh(tbl *Table) bool {
 		return false
 	}
 	n := tbl.NumRows()
-	if n < f.tracker.Rows() || !tbl.Schema().Equal(f.tracker.Table().Schema()) {
+	if n < f.tracker.Rows() {
+		// A shrunken table is not an append successor at all — distinct from
+		// a schema change, and serving layers alert on the two differently.
+		f.fallback = "table_shrunk"
+		return false
+	}
+	if !tbl.Schema().Equal(f.tracker.Table().Schema()) {
 		f.fallback = "schema_changed"
 		return false
 	}
@@ -160,7 +167,12 @@ func (f *Refresher) refresh(ctx context.Context, tbl *Table) (*Result, error, bo
 	delta, err := f.tracker.Advance(tbl)
 	if err != nil {
 		// An advance that failed structurally may have been a half-applied
-		// batch; drop the tracker so the cold fallback rebuilds it.
+		// batch; drop the tracker so the cold fallback rebuilds it. The
+		// error itself explains WHY the warm path bailed — surface it
+		// instead of letting the cold fallback look unprovoked.
+		obs.LoggerFrom(ctx).Warn("scorpion: warm refresh abandoned, tracker advance failed",
+			"error", err, "rows", tbl.NumRows())
+		obs.SpanFrom(ctx).SetAttr("advance_error", err.Error())
 		f.tracker = nil
 		f.fallback = "advance_failed"
 		return nil, nil, false

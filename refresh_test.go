@@ -215,6 +215,58 @@ func TestRefresherColdFallbacks(t *testing.T) {
 		}
 	})
 
+	t.Run("shrunken table vs schema change", func(t *testing.T) {
+		// The two operator problems must surface as distinct reasons: a
+		// table with FEWER rows than the tracker has folded in is not an
+		// append successor at all, while a schema mismatch is a different
+		// table entirely.
+		f, _ := NewRefresher(streamRequest(base))
+		if _, _, err := f.ExplainTable(context.Background(), base); err != nil {
+			t.Fatal(err)
+		}
+		schema, rows := streamFixture(t)
+		shrunk := buildFrom(t, schema, rows[:len(rows)-10])
+		res, refreshed, err := f.ExplainTable(context.Background(), shrunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refreshed || res.Stats.Refreshed {
+			t.Fatal("shrunken table served warm")
+		}
+		if got := f.FallbackReason(); got != "table_shrunk" {
+			t.Fatalf("shrunken table fallback reason = %q, want table_shrunk", got)
+		}
+
+		f2, _ := NewRefresher(streamRequest(base))
+		if _, _, err := f2.ExplainTable(context.Background(), base); err != nil {
+			t.Fatal(err)
+		}
+		wideSchema, err := NewSchema(
+			Column{Name: "g", Kind: Discrete},
+			Column{Name: "a", Kind: Continuous},
+			Column{Name: "v", Kind: Continuous},
+			Column{Name: "extra", Kind: Continuous},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wideRows := make([]Row, 0, len(rows))
+		for _, r := range rows {
+			wideRows = append(wideRows, append(append(Row{}, r...), F(1)))
+		}
+		wide := buildFrom(t, wideSchema, wideRows)
+		res, refreshed, err = f2.ExplainTable(context.Background(), wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refreshed || res.Stats.Refreshed {
+			t.Fatal("schema change served warm")
+		}
+		if got := f2.FallbackReason(); got != "schema_changed" {
+			t.Fatalf("schema change fallback reason = %q, want schema_changed", got)
+		}
+	})
+
 	t.Run("nil table", func(t *testing.T) {
 		f, _ := NewRefresher(streamRequest(base))
 		if _, _, err := f.ExplainTable(context.Background(), nil); err == nil {
